@@ -1,0 +1,51 @@
+(* Shared benchmark plumbing: scaling, timing, table output.
+
+   Paper experiments run 50-100 M items on large Xeons; these benchmarks
+   default to ~100-500 k items so the full suite completes in minutes.
+   Set EI_SCALE (a float, default 1.0) to scale all sizes; shapes are
+   stable from ~0.5 upwards.  EXPERIMENTS.md records paper-vs-measured
+   at the default scale. *)
+
+module Clock = Ei_util.Bench_clock
+
+let scale =
+  match Sys.getenv_opt "EI_SCALE" with
+  | Some s -> ( try float_of_string s with _ -> 1.0)
+  | None -> 1.0
+
+let scaled n = max 1 (int_of_float (float_of_int n *. scale))
+
+let header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let subheader s = Printf.printf "--- %s ---\n%!" s
+
+(* Measure a closure's throughput in Mops for [ops] operations. *)
+let mops ops f =
+  let (), dt = Clock.time f in
+  Clock.mops ops dt
+
+let pf = Printf.printf
+
+let print_row ?(w = 12) cells =
+  List.iter (fun c -> pf "%*s" w c) cells;
+  pf "\n%!"
+
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v
+let mb bytes = Printf.sprintf "%.1f" (Clock.mib bytes)
+
+(* Unique random keys of a given length, backed by a table. *)
+let unique_keys rng table n key_len =
+  let seen = Hashtbl.create (2 * n) in
+  Array.init n (fun _ ->
+      let rec fresh () =
+        let k = Ei_util.Key.random rng key_len in
+        if Hashtbl.mem seen k then fresh ()
+        else begin
+          Hashtbl.add seen k ();
+          k
+        end
+      in
+      let k = fresh () in
+      (k, Ei_storage.Table.append table k))

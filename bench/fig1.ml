@@ -1,0 +1,19 @@
+(* Figure 1: daily volume of data extracted from a cloud object store's
+   logs — the motivating burstiness.  We print the synthetic daily series
+   (normalised to the period average) and its burst statistics. *)
+
+open Bench_util
+
+let run () =
+  header "Figure 1: daily extracted-data volume (normalised to average)";
+  let days = 120 in
+  let volumes = Ei_workload.Datagen.daily_volumes ~days () in
+  pf "day series (x of period average):\n";
+  Array.iteri
+    (fun d v ->
+      pf "%5.2f%s" v (if (d + 1) mod 10 = 0 then "\n" else " "))
+    volumes;
+  let mean, above_15, above_20, max_v = Ei_workload.Datagen.stats volumes in
+  pf "\nmean=%.2f  days>=1.5x: %d  days>=2x: %d  max=%.2fx\n" mean above_15
+    above_20 max_v;
+  pf "paper: many days at 1.5x the average, some days 2x-3.5x\n%!"

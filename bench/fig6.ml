@@ -1,0 +1,105 @@
+(* Figure 6: YCSB single-threaded experiments (§6.2).
+
+   Load phase inserts uniformly distributed 64-bit keys; the transaction
+   phase runs workloads A (50r/50u), E (95 scan/5 insert) and F
+   (50r/50rmw) with uniform and Zipfian key choice.  ElasticXX starts
+   shrinking once XX% of the records are loaded (its size bound is
+   derived from STX's memory for the same load).
+
+   Workloads B, C and D behave like A/C in our runs, matching the paper's
+   remark that they "yield similar results and hence are not shown". *)
+
+open Bench_util
+module Table = Ei_storage.Table
+module Registry = Ei_harness.Registry
+module Index_ops = Ei_harness.Index_ops
+module Ycsb = Ei_workload.Ycsb
+
+let elastic_bound ~stx_bytes ~percent =
+  int_of_float (float_of_int stx_bytes *. float_of_int percent /. 100.0 /. 0.9)
+
+let index_kinds ~stx_bytes =
+  [
+    ("stx", Registry.Stx);
+    ("hot", Registry.Hot);
+    ("seqtree128", Registry.Seqtree 128);
+  ]
+  @ List.map
+      (fun pct ->
+        ( Printf.sprintf "elastic%d" pct,
+          Registry.Elastic
+            (Ei_core.Elasticity.default_config
+               ~size_bound:(elastic_bound ~stx_bytes ~percent:pct)) ))
+      [ 90; 75; 66; 50 ]
+
+let fresh kind ~record_count =
+  let table = Table.create ~key_len:8 () in
+  let index = Registry.make ~key_len:8 ~load:(Table.loader table) kind in
+  (Ycsb.create ~index ~table ~record_count (), index)
+
+(* STX memory for this record count, used to size elastic bounds. *)
+let stx_load_bytes record_count =
+  let runner, index = fresh Registry.Stx ~record_count in
+  Ycsb.load runner record_count;
+  index.Index_ops.memory_bytes ()
+
+let run () =
+  header "Figure 6: YCSB workloads, single-threaded";
+  let record_count = scaled 100_000 in
+  let ops = scaled 200_000 in
+  let stx_bytes = stx_load_bytes record_count in
+  let kinds = index_kinds ~stx_bytes in
+  pf "load = %d records; %d transactions per workload (E: %d)\n" record_count
+    ops (ops / 4);
+  (* 6a: load throughput + memory after load (used again by Fig 7a). *)
+  subheader "6a: load-phase throughput (Mops) and memory after load (MB)";
+  print_row [ "index"; "load Mops"; "mem MB"; "vs stx" ];
+  let load_mem =
+    List.map
+      (fun (label, kind) ->
+        let runner, index = fresh kind ~record_count in
+        let tput = mops record_count (fun () -> Ycsb.load runner record_count) in
+        let bytes = index.Index_ops.memory_bytes () in
+        print_row
+          [
+            label;
+            f3 tput;
+            mb bytes;
+            f2 (float_of_int bytes /. float_of_int stx_bytes);
+          ];
+        (label, kind, bytes))
+      kinds
+  in
+  ignore load_mem;
+  (* 6b/6c: transaction throughput. *)
+  let workloads = [ (Ycsb.A, ops); (Ycsb.E, ops / 4); (Ycsb.F, ops) ] in
+  List.iter
+    (fun (dist, dist_label) ->
+      subheader
+        (Printf.sprintf "6%s: transaction throughput (Mops), %s keys"
+           (if dist = Ycsb.Uniform then "b" else "c")
+           dist_label);
+      print_row
+        ("index"
+        :: List.map (fun (w, _) -> Ycsb.workload_name w) workloads);
+      List.iter
+        (fun (label, kind) ->
+          let cells =
+            List.map
+              (fun (w, wops) ->
+                let runner, _ = fresh kind ~record_count in
+                Ycsb.load runner record_count;
+                let tput =
+                  mops wops (fun () ->
+                      ignore (Ycsb.run runner ~workload:w ~dist ~ops:wops))
+                in
+                f3 tput)
+              workloads
+          in
+          print_row (label :: cells))
+        kinds)
+    [ (Ycsb.Uniform, "uniform"); (Ycsb.Zipfian, "zipfian") ];
+  pf
+    "paper shapes: STX fastest on E (scans); elastic variants between STX\n\
+     and seqtree128, degrading with lower shrink thresholds; load tput of\n\
+     elastic above HOT, seqtree128 about half of STX\n%!"

@@ -1,0 +1,64 @@
+(* Bechamel micro-benchmarks: per-operation latency of point lookups and
+   inserts on each index representation, complementing the throughput
+   figures with statistically analysed single-op costs. *)
+
+open Bechamel
+module Table = Ei_storage.Table
+module Rng = Ei_util.Rng
+module Key = Ei_util.Key
+module Registry = Ei_harness.Registry
+module Index_ops = Ei_harness.Index_ops
+
+let prepared_index kind =
+  let table = Table.create ~key_len:8 () in
+  let load = Table.loader table in
+  let index = Registry.make ~key_len:8 ~load kind in
+  let rng = Rng.create 1 in
+  let keys =
+    Bench_util.unique_keys rng table 50_000 8
+  in
+  Array.iter (fun (k, tid) -> ignore (index.Index_ops.insert k tid)) keys;
+  (index, keys, rng)
+
+let lookup_test name kind =
+  let index, keys, rng = prepared_index kind in
+  let n = Array.length keys in
+  Test.make ~name:(name ^ "-lookup")
+    (Staged.stage (fun () ->
+         let k, _ = keys.(Rng.int rng n) in
+         ignore (index.Index_ops.find k)))
+
+let scan_test name kind =
+  let index, keys, rng = prepared_index kind in
+  let n = Array.length keys in
+  Test.make ~name:(name ^ "-scan15")
+    (Staged.stage (fun () ->
+         let k, _ = keys.(Rng.int rng n) in
+         ignore (index.Index_ops.scan k 15)))
+
+let tests () =
+  Test.make_grouped ~name:"micro"
+    [
+      lookup_test "stx" Registry.Stx;
+      lookup_test "seqtree128" (Registry.Seqtree 128);
+      lookup_test "hot" Registry.Hot;
+      scan_test "stx" Registry.Stx;
+      scan_test "seqtree128" (Registry.Seqtree 128);
+      scan_test "hot" Registry.Hot;
+    ]
+
+let run () =
+  Bench_util.header "Bechamel micro-benchmarks (ns per operation)";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> Printf.printf "%-28s %10.1f ns/op\n%!" name est
+      | Some [] | None -> Printf.printf "%-28s (no estimate)\n%!" name)
+    results

@@ -1,0 +1,184 @@
+(* elastic-indexes command-line tool.
+
+   Subcommands:
+     ycsb   — run a YCSB workload against a chosen index
+     trace  — ingest a synthetic IOTTA-like log trace through the
+              MCAS-like store and query it
+     volumes — print the Fig-1 style daily-volume model
+
+   Examples:
+     ei ycsb --index elastic --workload E --records 50000 --ops 100000
+     ei trace --index elastic50 --rows 200000
+     ei volumes --days 90 *)
+
+open Cmdliner
+
+module Table = Ei_storage.Table
+module Registry = Ei_harness.Registry
+module Index_ops = Ei_harness.Index_ops
+module Ycsb = Ei_workload.Ycsb
+module Iotta = Ei_workload.Iotta
+module Clock = Ei_util.Bench_clock
+
+(* --- shared index argument ------------------------------------------ *)
+
+(* Parse "stx", "hot", "art", "skiplist", "seqtree<N>", "subtrie<N>",
+   "elastic" or "elastic<PCT>"; elastic bounds are computed against an
+   STX-sized estimate for [approx_items] keys of [key_len] bytes. *)
+let kind_of_name ~approx_items ~key_len name =
+  let stx_estimate =
+    (* ~1.2x the raw leaf entry cost, as inner nodes add ~10-20%. *)
+    approx_items * (key_len + 8) * 2
+  in
+  let elastic pct =
+    Registry.Elastic
+      (Ei_core.Elasticity.default_config
+         ~size_bound:(stx_estimate * pct / 100))
+  in
+  match name with
+  | "stx" -> Ok Registry.Stx
+  | "hot" -> Ok Registry.Hot
+  | "art" -> Ok Registry.Art
+  | "skiplist" -> Ok Registry.Skiplist
+  | "elastic" -> Ok (elastic 60)
+  | s when String.length s > 7 && String.sub s 0 7 = "elastic" -> (
+    match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+    | Some pct when pct > 0 -> Ok (elastic pct)
+    | _ -> Error (`Msg ("bad elastic percentage: " ^ s)))
+  | s when String.length s > 7 && String.sub s 0 7 = "seqtree" -> (
+    match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+    | Some c when c >= 32 -> Ok (Registry.Seqtree c)
+    | _ -> Error (`Msg ("bad seqtree capacity: " ^ s)))
+  | s when String.length s > 7 && String.sub s 0 7 = "subtrie" -> (
+    match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+    | Some c when c >= 32 -> Ok (Registry.Subtrie c)
+    | _ -> Error (`Msg ("bad subtrie capacity: " ^ s)))
+  | s -> Error (`Msg ("unknown index: " ^ s))
+
+let index_arg =
+  let doc =
+    "Index to use: stx, hot, art, skiplist, seqtree<N>, subtrie<N>, \
+     elastic or elastic<PCT> (shrink bound as a percentage of the \
+     estimated STX size)."
+  in
+  Arg.(value & opt string "elastic" & info [ "i"; "index" ] ~docv:"INDEX" ~doc)
+
+(* --- ycsb ------------------------------------------------------------ *)
+
+let ycsb_cmd =
+  let workload_arg =
+    Arg.(value & opt string "A" & info [ "w"; "workload" ] ~docv:"A..F" ~doc:"YCSB workload.")
+  in
+  let records_arg =
+    Arg.(value & opt int 50_000 & info [ "records" ] ~doc:"Records to load.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 100_000 & info [ "ops" ] ~doc:"Transactions to run.")
+  in
+  let zipf_arg =
+    Arg.(value & flag & info [ "zipfian" ] ~doc:"Zipfian key distribution (default uniform).")
+  in
+  let run index_name workload records ops zipfian =
+    let workload =
+      match String.uppercase_ascii workload with
+      | "A" -> Ycsb.A
+      | "B" -> Ycsb.B
+      | "C" -> Ycsb.C
+      | "D" -> Ycsb.D
+      | "E" -> Ycsb.E
+      | "F" -> Ycsb.F
+      | w -> Printf.ksprintf failwith "unknown workload %s" w
+    in
+    match kind_of_name ~approx_items:records ~key_len:8 index_name with
+    | Error (`Msg m) -> prerr_endline m; exit 2
+    | Ok kind ->
+      let table = Table.create ~key_len:8 () in
+      let index = Registry.make ~key_len:8 ~load:(Table.loader table) kind in
+      let runner = Ycsb.create ~index ~table ~record_count:records () in
+      let (), load_dt = Clock.time (fun () -> Ycsb.load runner records) in
+      Printf.printf "%-12s load  %8d recs  %6.2f Mops  %7.2f MiB %s\n"
+        index.Index_ops.name records (Clock.mops records load_dt)
+        (Clock.mib (index.Index_ops.memory_bytes ()))
+        (index.Index_ops.info ());
+      let dist = if zipfian then Ycsb.Zipfian else Ycsb.Uniform in
+      let (), dt =
+        Clock.time (fun () -> ignore (Ycsb.run runner ~workload ~dist ~ops))
+      in
+      Printf.printf "%-12s txn-%s %8d ops   %6.2f Mops  %7.2f MiB %s\n"
+        index.Index_ops.name
+        (Ycsb.workload_name workload)
+        ops (Clock.mops ops dt)
+        (Clock.mib (index.Index_ops.memory_bytes ()))
+        (index.Index_ops.info ())
+  in
+  let term = Term.(const run $ index_arg $ workload_arg $ records_arg $ ops_arg $ zipf_arg) in
+  Cmd.v (Cmd.info "ycsb" ~doc:"Run a YCSB workload against an index.") term
+
+(* --- trace ------------------------------------------------------------ *)
+
+let trace_cmd =
+  let rows_arg =
+    Arg.(value & opt int 200_000 & info [ "rows" ] ~doc:"Trace rows to ingest.")
+  in
+  let run index_name rows_n =
+    match kind_of_name ~approx_items:rows_n ~key_len:16 index_name with
+    | Error (`Msg m) -> prerr_endline m; exit 2
+    | Ok kind ->
+      let rows = Iotta.generate ~rows:rows_n ~objects:(max 100 (rows_n / 10)) () in
+      let store = Ei_mcas.Store.create () in
+      let table = Ei_mcas.Log_table.create ~index_kind:kind () in
+      Ei_mcas.Store.attach_ado store ~partition:0 (Ei_mcas.Log_table.ado table);
+      let (), ingest_dt =
+        Clock.time (fun () ->
+            Array.iter
+              (fun r ->
+                ignore
+                  (Ei_mcas.Store.invoke store ~partition:0 (Ei_mcas.Ado.Ingest r)))
+              rows)
+      in
+      Printf.printf "ingested %d rows in %.2f s (%.2f Mops)\n" rows_n ingest_dt
+        (Clock.mops rows_n ingest_dt);
+      Printf.printf "index %s: %.2f MiB (%.2fx the dataset) %s\n"
+        (Ei_mcas.Log_table.index_name table)
+        (Clock.mib (Ei_mcas.Log_table.index_memory_bytes table))
+        (float_of_int (Ei_mcas.Log_table.index_memory_bytes table)
+        /. float_of_int (Ei_mcas.Log_table.data_bytes table))
+        (Ei_mcas.Log_table.index_info table);
+      let rng = Ei_util.Rng.create 3 in
+      let lookups = min 100_000 rows_n in
+      let (), lkp_dt =
+        Clock.time (fun () ->
+            for _ = 1 to lookups do
+              let r = rows.(Ei_util.Rng.int rng rows_n) in
+              ignore
+                (Ei_mcas.Store.invoke store ~partition:0
+                   (Ei_mcas.Ado.Lookup (Iotta.key_of_row r)))
+            done)
+      in
+      Printf.printf "%d lookups: %.2f Mops end-to-end\n" lookups
+        (Clock.mops lookups lkp_dt)
+  in
+  let term = Term.(const run $ index_arg $ rows_arg) in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Ingest a synthetic object-store log trace via the MCAS-like store.")
+    term
+
+(* --- volumes ----------------------------------------------------------- *)
+
+let volumes_cmd =
+  let days_arg = Arg.(value & opt int 60 & info [ "days" ] ~doc:"Days to model.") in
+  let run days =
+    let v = Ei_workload.Datagen.daily_volumes ~days () in
+    Array.iteri (fun d x -> Printf.printf "day %3d: %5.2fx\n" d x) v;
+    let mean, a15, a20, mx = Ei_workload.Datagen.stats v in
+    Printf.printf "mean %.2f, days>=1.5x: %d, days>=2x: %d, max %.2fx\n" mean a15 a20 mx
+  in
+  Cmd.v (Cmd.info "volumes" ~doc:"Print the Fig-1 style daily volume model.")
+    Term.(const run $ days_arg)
+
+let () =
+  let info =
+    Cmd.info "ei" ~version:"1.0.0"
+      ~doc:"Elastic indexes: dynamic space vs. query efficiency tuning."
+  in
+  exit (Cmd.eval (Cmd.group info [ ycsb_cmd; trace_cmd; volumes_cmd ]))

@@ -1,0 +1,65 @@
+(* Run a YCSB workload against any index from the registry.
+
+   Usage: dune exec examples/ycsb_demo.exe -- [index] [workload] [records] [ops]
+     index:    stx | seqtree128 | subtrie128 | elastic | hot | art | skiplist
+     workload: A | B | C | D | E | F
+
+   Example: dune exec examples/ycsb_demo.exe -- elastic E 50000 100000 *)
+
+module Table = Ei_storage.Table
+module Registry = Ei_harness.Registry
+module Index_ops = Ei_harness.Index_ops
+module Ycsb = Ei_workload.Ycsb
+module Clock = Ei_util.Bench_clock
+
+let kind_of_string records = function
+  | "stx" -> Registry.Stx
+  | "seqtree128" -> Registry.Seqtree 128
+  | "subtrie128" -> Registry.Subtrie 128
+  | "elastic" ->
+    (* Shrink once the index exceeds ~60% of what STX would need. *)
+    Registry.Elastic
+      (Ei_core.Elasticity.default_config ~size_bound:(records * 56 * 6 / 10))
+  | "hot" -> Registry.Hot
+  | "art" -> Registry.Art
+  | "skiplist" -> Registry.Skiplist
+  | s -> failwith ("unknown index: " ^ s)
+
+let workload_of_string = function
+  | "A" | "a" -> Ycsb.A
+  | "B" | "b" -> Ycsb.B
+  | "C" | "c" -> Ycsb.C
+  | "D" | "d" -> Ycsb.D
+  | "E" | "e" -> Ycsb.E
+  | "F" | "f" -> Ycsb.F
+  | s -> failwith ("unknown workload: " ^ s)
+
+let () =
+  let arg i default = if Array.length Sys.argv > i then Sys.argv.(i) else default in
+  let index_name = arg 1 "elastic" in
+  let workload = workload_of_string (arg 2 "A") in
+  let records = int_of_string (arg 3 "50000") in
+  let ops = int_of_string (arg 4 "100000") in
+  let table = Table.create ~key_len:8 () in
+  let index =
+    Registry.make ~key_len:8 ~load:(Table.loader table)
+      (kind_of_string records index_name)
+  in
+  let runner = Ycsb.create ~index ~table ~record_count:records () in
+  let (), load_dt = Clock.time (fun () -> Ycsb.load runner records) in
+  Printf.printf "%s: loaded %d records in %.2fs (%.2f Mops), index %.2f MiB %s\n"
+    index.Index_ops.name records load_dt
+    (Clock.mops records load_dt)
+    (Clock.mib (index.Index_ops.memory_bytes ()))
+    (index.Index_ops.info ());
+  let found = ref 0 in
+  let (), txn_dt =
+    Clock.time (fun () ->
+        found := Ycsb.run runner ~workload ~dist:Ycsb.Zipfian ~ops)
+  in
+  Printf.printf
+    "workload %s: %d ops in %.2fs (%.2f Mops, %d reads served), index %.2f MiB %s\n"
+    (Ycsb.workload_name workload)
+    ops txn_dt (Clock.mops ops txn_dt) !found
+    (Clock.mib (index.Index_ops.memory_bytes ()))
+    (index.Index_ops.info ())

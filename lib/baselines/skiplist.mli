@@ -1,0 +1,21 @@
+(** Skip list with internal key storage (Pugh) — a comparison baseline.
+    Every node stores its key inline plus a tower of forward pointers,
+    which is why skip lists consume more memory than the STX B+-tree. *)
+
+type t
+
+val create : ?seed:int -> key_len:int -> unit -> t
+
+val count : t -> int
+val memory_bytes : t -> int
+
+val insert : t -> string -> int -> bool
+val remove : t -> string -> bool
+val update : t -> string -> int -> bool
+val find : t -> string -> int option
+val mem : t -> string -> bool
+
+val fold_range : t -> start:string -> n:int -> ('a -> string -> int -> 'a) -> 'a -> 'a
+val iter : t -> (string -> int -> unit) -> unit
+
+val check_invariants : t -> unit

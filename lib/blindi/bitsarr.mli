@@ -1,0 +1,25 @@
+(** Packed fixed-capacity array of small non-negative integers, 1 or 2
+    bytes per entry — the physical layout of BlindiBits arrays (§5.1). *)
+
+type t
+
+val create : width:int -> capacity:int -> t
+(** [width] must be 1 or 2. *)
+
+val width_for_bits : int -> int
+(** Entry width (1 or 2 bytes) for entries holding one of [count]
+    distinct values 0 .. count-1. *)
+
+val capacity : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+val insert : t -> count:int -> int -> int -> unit
+(** [insert t ~count i v] shifts entries [i, count) right and writes [v]
+    at [i].  Requires capacity for [count + 1] entries. *)
+
+val remove : t -> count:int -> int -> unit
+(** [remove t ~count i] deletes entry [i], shifting the tail left. *)
+
+val blit : t -> int -> t -> int -> int -> unit
+val copy : t -> t

@@ -1,0 +1,75 @@
+(** SeqTree: the paper's compact blind-trie node representation (§5).
+
+    A SeqTree stores [n] keys *indirectly*: only the [n-1] discriminating
+    bit positions (BlindiBits), a small auxiliary tree over the top trie
+    levels (BlindiTree), and the tuple ids.  Searches verify their
+    candidate by loading the key from the base table via a [load]
+    closure.  [levels = 0] degenerates to the pure SeqTrie of Ferguson;
+    [breathing > 0] sizes the tuple-id array to occupancy plus slack
+    (§5.4). *)
+
+type t
+
+type load = int -> string
+(** [load tid] fetches the indexed key of row [tid]. *)
+
+val create :
+  key_len:int -> capacity:int -> levels:int -> breathing:int -> unit -> t
+
+val of_sorted :
+  key_len:int -> capacity:int -> levels:int -> breathing:int ->
+  string array -> int array -> int -> t
+(** [of_sorted ... keys tids n] builds a node from the first [n] strictly
+    increasing keys and their tids (keys are used only for construction
+    and not retained). *)
+
+val count : t -> int
+val capacity : t -> int
+val key_len : t -> int
+val levels : t -> int
+val is_full : t -> bool
+val tid_at : t -> int -> int
+
+val memory_bytes : t -> int
+(** Node size under the explicit memory model. *)
+
+type locate_result =
+  | Found of int  (** key present at this position *)
+  | Pred of int   (** key absent; predecessor position, -1 if none *)
+
+val locate : t -> load:load -> string -> locate_result
+(** Predecessor-semantics search (§5.2). *)
+
+val find : t -> load:load -> string -> int option
+(** Point lookup returning the tuple id. *)
+
+val update : t -> load:load -> string -> int -> bool
+(** Overwrite the tuple id of an existing key; false if absent. *)
+
+type insert_result = Inserted | Full | Duplicate
+
+val insert : t -> load:load -> string -> int -> insert_result
+
+type remove_result = Removed | Not_present
+
+val remove : t -> load:load -> string -> remove_result
+
+val split : t -> left_capacity:int -> right_capacity:int -> t * t
+(** Split into first-half / second-half nodes (§5.3). *)
+
+val merge : t -> t -> load:load -> capacity:int -> levels:int -> t
+(** Merge two adjacent nodes (all keys of the first below the second). *)
+
+val with_capacity : t -> capacity:int -> levels:int -> t
+(** Rebuild with a new capacity (elastic grow/shrink of a compact leaf). *)
+
+val fold_from : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+(** Fold over tuple ids in key order starting at a position. *)
+
+val iter : (int -> unit) -> t -> unit
+
+val lower_bound : t -> load:load -> string -> int
+(** Position of the first key [>=] the argument ([count t] if none). *)
+
+val check_invariants : t -> load:load -> unit
+(** Assert structural invariants (test support). *)

@@ -1,0 +1,28 @@
+(* Global operation counters for the blind-trie representations.
+
+   These feed the §6.1 operation-cost breakdown benchmark: how much work
+   elasticity adds (compact-leaf searches, key comparisons against the
+   table, node conversions). *)
+
+type t = {
+  mutable searches : int;        (* compact-leaf searches *)
+  mutable scan_steps : int;      (* SeqTrie sequential-scan steps *)
+  mutable tree_steps : int;      (* BlindiTree descent steps *)
+  mutable key_compares : int;    (* verification compares against loaded keys *)
+  mutable inserts : int;
+  mutable removes : int;
+  mutable rebuilds : int;        (* BlindiTree rebuilds *)
+}
+
+let global =
+  { searches = 0; scan_steps = 0; tree_steps = 0; key_compares = 0;
+    inserts = 0; removes = 0; rebuilds = 0 }
+
+let reset () =
+  global.searches <- 0;
+  global.scan_steps <- 0;
+  global.tree_steps <- 0;
+  global.key_compares <- 0;
+  global.inserts <- 0;
+  global.removes <- 0;
+  global.rebuilds <- 0

@@ -1,0 +1,41 @@
+(** String B-Trie node representation (Ferragina & Grossi), the third
+    blind-trie layout of §5.1: every trie node stores its
+    discriminating-bit position and explicit pointers to its two
+    children (~3 B/key).  The extra byte buys pointer-based maintenance:
+    inserts and removes splice single nodes instead of rebuilding
+    arrays. *)
+
+type t
+
+type load = int -> string
+
+val create : key_len:int -> capacity:int -> unit -> t
+val of_sorted : key_len:int -> capacity:int -> string array -> int array -> int -> t
+
+val count : t -> int
+val capacity : t -> int
+val is_full : t -> bool
+val tid_at : t -> int -> int
+val memory_bytes : t -> int
+
+type locate_result = Found of int | Pred of int
+
+val locate : t -> load:load -> string -> locate_result
+val find : t -> load:load -> string -> int option
+val lower_bound : t -> load:load -> string -> int
+val update : t -> load:load -> string -> int -> bool
+
+type insert_result = Inserted | Full | Duplicate
+
+val insert : t -> load:load -> string -> int -> insert_result
+
+type remove_result = Removed | Not_present
+
+val remove : t -> load:load -> string -> remove_result
+
+val split : t -> load:load -> left_capacity:int -> right_capacity:int -> t * t
+val merge : t -> t -> load:load -> capacity:int -> t
+
+val fold_from : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+val iter : (int -> unit) -> t -> unit
+val check_invariants : t -> load:load -> unit

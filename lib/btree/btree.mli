@@ -1,0 +1,98 @@
+(** B+-tree with pluggable leaf representations.
+
+    Leaf-level structure modifications (overflow, underflow, merge) are
+    delegated to a {!Policy.t}: the STX baseline always splits, the
+    STX-SeqTree / STX-SubTrie variants keep every leaf compact, and the
+    elastic policy ({!Ei_core.Elasticity}) converts leaves between
+    representations in place.  Index size is tracked incrementally under
+    the explicit memory model ({!Ei_storage.Memmodel}). *)
+
+type t
+
+type stats = {
+  mutable conversions : int;    (** leaf representation changes *)
+  mutable leaf_splits : int;
+  mutable leaf_merges : int;
+  mutable search_splits : int;  (** expansion-state splits from finds *)
+}
+
+val create :
+  ?leaf_capacity:int ->
+  ?inner_capacity:int ->
+  key_len:int ->
+  load:(int -> string) ->
+  policy:Policy.t ->
+  unit ->
+  t
+(** [create ~key_len ~load ~policy ()] is an empty tree over fixed-length
+    keys.  [load tid] must return the indexed key of row [tid]; compact
+    leaves use it for verification and scans.  Default capacities are 16
+    slots for both leaves and inner nodes, as in the STX B+-tree. *)
+
+val of_sorted :
+  ?leaf_capacity:int ->
+  ?inner_capacity:int ->
+  key_len:int ->
+  load:(int -> string) ->
+  policy:Policy.t ->
+  string array ->
+  int array ->
+  int ->
+  t
+(** [of_sorted ~key_len ~load ~policy keys tids n] bulk-loads a tree from
+    [n] strictly increasing keys in O(n), equivalent to inserting them in
+    order. *)
+
+val insert : t -> string -> int -> bool
+(** [insert t key tid] maps [key] to [tid]; false if [key] is present. *)
+
+val remove : t -> string -> bool
+(** [remove t key] deletes the mapping; false if absent. *)
+
+val update : t -> string -> int -> bool
+(** In-place value overwrite of an existing key; false if absent. *)
+
+val find : t -> string -> int option
+(** Point lookup.  Under an elastic policy in the expanding state, a
+    find reaching a compact leaf may split it (§4). *)
+
+val mem : t -> string -> bool
+
+val fold_range : t -> start:string -> n:int -> ('a -> string -> int -> 'a) -> 'a -> 'a
+(** [fold_range t ~start ~n f acc] folds over up to [n] entries with
+    keys [>= start] in ascending order.  Compact leaves load each key
+    from the table — the indirect-access scan cost of §2. *)
+
+val iter : t -> (string -> int -> unit) -> unit
+(** In-order iteration over all entries. *)
+
+val fold_leaves : t -> ('a -> Policy.leaf_spec -> int -> 'a) -> 'a -> 'a
+(** Fold over the leaves in key order with their representation spec and
+    occupancy (used to report compact-leaf distributions). *)
+
+val compact_cold : t -> batch:int -> spec:Policy.leaf_spec -> int
+(** Access-aware compaction sweep: inspect up to [batch] leaves from a
+    persistent cursor and convert standard leaves that were not accessed
+    since the previous visit to [spec].  Returns the number of
+    conversions.  Implements §4's "compact infrequently accessed nodes"
+    policy variant. *)
+
+val count : t -> int
+(** Number of stored keys. *)
+
+val memory_bytes : t -> int
+(** Current index size under the memory model. *)
+
+val high_water_bytes : t -> int
+
+val compact_leaves : t -> int
+(** Number of leaves currently in a compact representation. *)
+
+val stats : t -> stats
+val policy : t -> Policy.t
+val set_policy : t -> Policy.t -> unit
+
+val check_invariants : t -> unit
+(** Assert structural invariants: uniform depth, separator ordering,
+    leaf-chain consistency, and that tracked size, item and compact-leaf
+    counts match recomputation.  Test support. *)

@@ -1,0 +1,130 @@
+(* Standard B+-tree leaf with internal key storage, as in the STX
+   B+-tree: a sorted array of keys and the matching tuple ids.  This is
+   the representation the elastic index converts *from* under memory
+   pressure and back *to* when pressure subsides. *)
+
+type t = {
+  key_len : int;
+  capacity : int;
+  mutable n : int;
+  keys : string array;
+  tids : int array;
+}
+
+let create ~key_len ~capacity () =
+  assert (capacity >= 2);
+  { key_len; capacity; n = 0; keys = Array.make capacity ""; tids = Array.make capacity 0 }
+
+let count t = t.n
+let capacity t = t.capacity
+let is_full t = t.n >= t.capacity
+let key_at t i = t.keys.(i)
+let tid_at t i = t.tids.(i)
+
+let memory_bytes t =
+  Ei_storage.Memmodel.std_leaf_bytes ~capacity:t.capacity ~key_len:t.key_len
+
+type locate_result = Found of int | Pred of int
+
+(* Binary search with predecessor semantics. *)
+let locate t key =
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  let res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = Ei_util.Key.compare t.keys.(mid) key in
+    if c = 0 then begin
+      res := mid;
+      lo := !hi + 1 (* terminate *)
+    end
+    else if c < 0 then begin
+      res := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  if !res >= 0 && Ei_util.Key.equal t.keys.(!res) key then Found !res
+  else Pred !res
+
+let find t key =
+  match locate t key with Found i -> Some t.tids.(i) | Pred _ -> None
+
+type insert_result = Inserted | Full | Duplicate
+
+let insert t key tid =
+  match locate t key with
+  | Found _ -> Duplicate
+  | Pred _ when t.n >= t.capacity -> Full
+  | Pred p ->
+    let q = p + 1 in
+    Array.blit t.keys q t.keys (q + 1) (t.n - q);
+    Array.blit t.tids q t.tids (q + 1) (t.n - q);
+    t.keys.(q) <- key;
+    t.tids.(q) <- tid;
+    t.n <- t.n + 1;
+    Inserted
+
+(* Overwrite the tid of an existing key (value update). *)
+let update t key tid =
+  match locate t key with
+  | Found j ->
+    t.tids.(j) <- tid;
+    true
+  | Pred _ -> false
+
+type remove_result = Removed | Not_present
+
+let remove t key =
+  match locate t key with
+  | Pred _ -> Not_present
+  | Found j ->
+    Array.blit t.keys (j + 1) t.keys j (t.n - j - 1);
+    Array.blit t.tids (j + 1) t.tids j (t.n - j - 1);
+    t.n <- t.n - 1;
+    t.keys.(t.n) <- "";
+    Removed
+
+let of_sorted ~key_len ~capacity keys tids n =
+  assert (n <= capacity);
+  let t = create ~key_len ~capacity () in
+  Array.blit keys 0 t.keys 0 n;
+  Array.blit tids 0 t.tids 0 n;
+  t.n <- n;
+  t
+
+let split t =
+  let m = t.n / 2 in
+  let right =
+    of_sorted ~key_len:t.key_len ~capacity:t.capacity
+      (Array.sub t.keys m (t.n - m))
+      (Array.sub t.tids m (t.n - m))
+      (t.n - m)
+  in
+  for i = m to t.n - 1 do
+    t.keys.(i) <- ""
+  done;
+  t.n <- m;
+  right
+
+(* Append all entries of [b] to [a]; caller guarantees order and room. *)
+let absorb a b =
+  assert (a.n + b.n <= a.capacity);
+  Array.blit b.keys 0 a.keys a.n b.n;
+  Array.blit b.tids 0 a.tids a.n b.n;
+  a.n <- a.n + b.n
+
+let fold_from t pos f acc =
+  let acc = ref acc in
+  for i = max 0 pos to t.n - 1 do
+    acc := f !acc t.keys.(i) t.tids.(i)
+  done;
+  !acc
+
+let lower_bound t key =
+  match locate t key with Found j -> j | Pred p -> p + 1
+
+let check_invariants t =
+  assert (t.n >= 0 && t.n <= t.capacity);
+  for i = 0 to t.n - 2 do
+    assert (Ei_util.Key.compare t.keys.(i) t.keys.(i + 1) < 0)
+  done

@@ -1,0 +1,78 @@
+(* The elastic B+-tree: the paper's primary contribution (§3-§5).
+
+   An elastic B+-tree behaves exactly like the underlying STX-style
+   B+-tree while the index fits comfortably inside its soft size bound.
+   Under memory pressure it incrementally converts leaves to the SeqTree
+   compact representation (indirect key storage), trading some query
+   efficiency for space, and it converts them back when pressure
+   subsides.  See {!Elasticity} for the state machine. *)
+
+module Btree = Ei_btree.Btree
+
+type t = {
+  tree : Btree.t;
+  elasticity : Elasticity.t;
+  config : Elasticity.config;
+  mutable ops : int;  (* operation counter driving cold sweeps *)
+}
+
+let create ?(leaf_capacity = 16) ?(inner_capacity = 16) ~key_len ~load config () =
+  let elasticity = Elasticity.create ~std_capacity:leaf_capacity config in
+  let tree =
+    Btree.create ~leaf_capacity ~inner_capacity ~key_len ~load
+      ~policy:(Elasticity.policy elasticity) ()
+  in
+  { tree; elasticity; config; ops = 0 }
+
+(* Access-aware policy variant: while shrinking and above the shrink
+   threshold, periodically compact a batch of cold (untouched since the
+   previous sweep) standard leaves, so pressure is relieved even when
+   insertions never overflow them (e.g. append-only key patterns). *)
+let maybe_cold_sweep t =
+  let p = t.config.Elasticity.cold_sweep_period in
+  if p > 0 then begin
+    t.ops <- t.ops + 1;
+    if
+      t.ops mod p = 0
+      && Elasticity.state t.elasticity = Elasticity.Shrinking
+      && Btree.memory_bytes t.tree
+         >= int_of_float
+              (t.config.Elasticity.shrink_fraction
+              *. float_of_int t.config.Elasticity.size_bound)
+    then
+      ignore
+        (Btree.compact_cold t.tree ~batch:t.config.Elasticity.cold_sweep_batch
+           ~spec:
+             (Ei_btree.Policy.Spec_seq
+                t.config.Elasticity.initial_compact_capacity))
+  end
+
+(* Bulk-load from sorted entries; the elasticity machinery takes over
+   for subsequent operations. *)
+let of_sorted ?(leaf_capacity = 16) ?(inner_capacity = 16) ~key_len ~load config
+    keys tids n =
+  let elasticity = Elasticity.create ~std_capacity:leaf_capacity config in
+  let tree =
+    Btree.of_sorted ~leaf_capacity ~inner_capacity ~key_len ~load
+      ~policy:(Elasticity.policy elasticity) keys tids n
+  in
+  { tree; elasticity; config; ops = 0 }
+
+let insert t key tid =
+  maybe_cold_sweep t;
+  Btree.insert t.tree key tid
+let remove t key = Btree.remove t.tree key
+let find t key = Btree.find t.tree key
+let update t key tid = Btree.update t.tree key tid
+let mem t key = Btree.mem t.tree key
+let fold_range t ~start ~n f acc = Btree.fold_range t.tree ~start ~n f acc
+let iter t f = Btree.iter t.tree f
+let count t = Btree.count t.tree
+let memory_bytes t = Btree.memory_bytes t.tree
+let high_water_bytes t = Btree.high_water_bytes t.tree
+let compact_leaves t = Btree.compact_leaves t.tree
+let state t = Elasticity.state t.elasticity
+let transitions t = Elasticity.transitions t.elasticity
+let stats t = Btree.stats t.tree
+let tree t = t.tree
+let check_invariants t = Btree.check_invariants t.tree

@@ -1,0 +1,51 @@
+(** Elastic skip list: the elastic index framework applied to a skip
+    list, demonstrating the framework's generality (§3 lists skip lists
+    among the applicable base indexes).
+
+    Under memory pressure, runs of consecutive single-key nodes are
+    converted into one segment node whose payload is a {!Ei_blindi.Seqtree}
+    (compact, indirect key storage); segments grow, shrink, dissolve on
+    underflow, and are randomly dissolved by searches in the expanding
+    state — mirroring the elastic B+-tree's §4 rules. *)
+
+type t
+
+type state = Normal | Shrinking | Expanding
+
+val state_name : state -> string
+
+type config = {
+  size_bound : int;
+  shrink_fraction : float;
+  expand_fraction : float;
+  segment_capacity : int;
+  max_segment_capacity : int;
+  seq_levels : int;
+  breathing : int;
+  search_split_probability : float;
+  seed : int;
+}
+
+val default_config : size_bound:int -> config
+
+val create : key_len:int -> load:(int -> string) -> config -> unit -> t
+
+val insert : t -> string -> int -> bool
+val remove : t -> string -> bool
+val update_value : t -> string -> int -> bool
+val find : t -> string -> int option
+val mem : t -> string -> bool
+
+val fold_range : t -> start:string -> n:int -> ('a -> string -> int -> 'a) -> 'a -> 'a
+val iter : t -> (string -> int -> unit) -> unit
+
+val count : t -> int
+val memory_bytes : t -> int
+val segments : t -> int
+(** Number of compact segment nodes. *)
+
+val state : t -> state
+val transitions : t -> int
+val conversions : t -> int
+
+val check_invariants : t -> unit

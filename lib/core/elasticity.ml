@@ -1,0 +1,200 @@
+(* The B+-tree elasticity algorithm (§4).
+
+   The algorithm keeps the index size below a soft bound.  It enters the
+   *shrinking* state when the tracked index size reaches
+   [shrink_fraction] of the bound, and — with hysteresis to avoid
+   oscillation — the *expanding* state when the size falls back below
+   [expand_fraction] of the bound.  It returns to *normal* once no
+   compact leaves remain.
+
+   All conversions piggyback on structure-modification events:
+   - shrinking: a standard-leaf overflow converts the leaf to a SeqTree
+     of twice its capacity instead of splitting; a compact-leaf overflow
+     doubles the compact capacity up to [max_compact_capacity], after
+     which the leaf splits;
+   - any state: a compact-leaf underflow (capacity 2k holding fewer than
+     k+1 keys) shrinks the leaf to capacity k, or back to a standard
+     leaf when k is the standard capacity;
+   - expanding: a search that ends at a compact leaf randomly splits it
+     into two leaves of half capacity (standard leaves at the bottom of
+     the progression), so hot read-only leaves also decompact. *)
+
+module Policy = Ei_btree.Policy
+
+type state = Normal | Shrinking | Expanding
+
+let state_name = function
+  | Normal -> "normal"
+  | Shrinking -> "shrinking"
+  | Expanding -> "expanding"
+
+type config = {
+  size_bound : int;                 (* soft index size bound, bytes *)
+  shrink_fraction : float;          (* enter shrinking at this * bound *)
+  expand_fraction : float;          (* enter expanding below this * bound *)
+  initial_compact_capacity : int;   (* first SeqTree capacity (2n, §4) *)
+  max_compact_capacity : int;       (* compact capacity cap (128, §4) *)
+  seq_levels : int;                 (* BlindiTree levels (2, §6.1) *)
+  breathing : int;                  (* breathing slack (4, §6.1) *)
+  search_split_probability : float; (* expansion-state split chance *)
+  cold_sweep_period : int;          (* ops between cold-compaction sweeps;
+                                       0 disables the access-aware policy *)
+  cold_sweep_batch : int;           (* leaves inspected per sweep *)
+  seed : int;
+}
+
+let default_config ~size_bound =
+  {
+    size_bound;
+    shrink_fraction = 0.9;
+    expand_fraction = 0.75;
+    initial_compact_capacity = 32;
+    max_compact_capacity = 128;
+    seq_levels = 2;
+    breathing = 4;
+    search_split_probability = 1.0 /. 32.0;
+    cold_sweep_period = 0;
+    cold_sweep_batch = 8;
+    seed = 0x5eed;
+  }
+
+type t = {
+  config : config;
+  std_capacity : int;
+  rng : Ei_util.Rng.t;
+  mutable state : state;
+  mutable transitions : int;
+}
+
+let create ~std_capacity config =
+  assert (config.size_bound > 0);
+  assert (config.expand_fraction < config.shrink_fraction);
+  (* The first compact capacity must exceed the standard leaf's (§4 uses
+     2n); lift it when the tree uses larger leaves than the default. *)
+  let config =
+    if config.initial_compact_capacity > std_capacity then config
+    else
+      {
+        config with
+        initial_compact_capacity = 2 * std_capacity;
+        max_compact_capacity =
+          max config.max_compact_capacity (4 * std_capacity);
+      }
+  in
+  {
+    config;
+    std_capacity;
+    rng = Ei_util.Rng.create config.seed;
+    state = Normal;
+    transitions = 0;
+  }
+
+let state t = t.state
+let transitions t = t.transitions
+
+let shrink_at t =
+  int_of_float (t.config.shrink_fraction *. float_of_int t.config.size_bound)
+
+let expand_at t =
+  int_of_float (t.config.expand_fraction *. float_of_int t.config.size_bound)
+
+let set_state t s =
+  if t.state <> s then begin
+    t.state <- s;
+    t.transitions <- t.transitions + 1
+  end
+
+(* State transition check, run whenever the policy is consulted. *)
+let update t (view : Policy.view) =
+  match t.state with
+  | Normal -> if view.bytes >= shrink_at t then set_state t Shrinking
+  | Shrinking -> if view.bytes <= expand_at t then set_state t Expanding
+  | Expanding ->
+    if view.bytes >= shrink_at t then set_state t Shrinking
+    else if view.compact_leaves = 0 then set_state t Normal
+
+(* ------------------------------------------------------------------ *)
+(* Policy construction.                                                *)
+
+let on_overflow t view ~current =
+  update t view;
+  match (current, t.state) with
+  | Policy.Spec_std, Shrinking ->
+    (* Convert instead of splitting: saves leaf space and avoids the
+       separator insertions a split would push into inner nodes. *)
+    Policy.Convert (Policy.Spec_seq t.config.initial_compact_capacity)
+  | Policy.Spec_std, (Normal | Expanding) -> Policy.Split Policy.Spec_std
+  | Policy.Spec_seq c, Shrinking ->
+    if c < t.config.max_compact_capacity then
+      Policy.Convert (Policy.Spec_seq (2 * c))
+    else Policy.Split (Policy.Spec_seq c)
+  | Policy.Spec_seq c, (Normal | Expanding) ->
+    (* Outside the shrinking state an overflowing compact leaf walks back
+       down the capacity progression, so write-hot regions decompact even
+       without searches (mirrors the expansion split rule of §4). *)
+    let k = c / 2 in
+    if k <= t.std_capacity then Policy.Split Policy.Spec_std
+    else Policy.Split (Policy.Spec_seq k)
+  | Policy.Spec_sub c, _ -> Policy.Split (Policy.Spec_sub c)
+  | Policy.Spec_pre, _ -> Policy.Split Policy.Spec_pre
+  | Policy.Spec_str c, _ -> Policy.Split (Policy.Spec_str c)
+  | Policy.Spec_bw, _ -> Policy.Split Policy.Spec_bw
+
+let on_underflow t view ~current ~count:_ =
+  update t view;
+  match current with
+  | Policy.Spec_std | Policy.Spec_sub _ | Policy.Spec_pre | Policy.Spec_str _
+  | Policy.Spec_bw ->
+    Policy.Rebalance
+  | Policy.Spec_seq c ->
+    let k = c / 2 in
+    if k > t.std_capacity then Policy.Replace (Policy.Spec_seq k)
+    else Policy.Replace Policy.Spec_std
+
+let on_search_compact t view ~current =
+  update t view;
+  match (t.state, current) with
+  | Expanding, Policy.Spec_seq c
+    when Ei_util.Rng.float t.rng < t.config.search_split_probability ->
+    let k = c / 2 in
+    if k <= t.std_capacity then Some Policy.Spec_std
+    else Some (Policy.Spec_seq k)
+  | _ -> None
+
+let on_merge t view ~total ~left ~right =
+  update t view;
+  ignore left;
+  ignore right;
+  (* Piggyback on merges: while shrinking, merges produce compact leaves;
+     otherwise the merged leaf reverts to standard whenever it fits, so
+     removes drive expansion (§4).  A merge too large for a standard leaf
+     must stay compact regardless of state. *)
+  if t.state = Shrinking || total > t.std_capacity then begin
+    let rec fit c =
+      if c >= total || c >= t.config.max_compact_capacity then c else fit (2 * c)
+    in
+    Policy.Spec_seq (fit t.config.initial_compact_capacity)
+  end
+  else Policy.Spec_std
+
+let underflow_at _t spec ~std_capacity ~count =
+  match spec with
+  | Policy.Spec_std | Policy.Spec_sub _ | Policy.Spec_pre | Policy.Spec_bw ->
+    count < std_capacity / 2
+  | Policy.Spec_str c -> count < c / 2
+  | Policy.Spec_seq c ->
+    (* The paper's compact-leaf invariant: capacity 2k holds >= k+1. *)
+    count < (c / 2) + 1
+
+let policy t =
+  {
+    Policy.name = "elastic";
+    initial = Policy.Spec_std;
+    seq_levels = t.config.seq_levels;
+    seq_breathing = t.config.breathing;
+    on_overflow = (fun view ~current -> on_overflow t view ~current);
+    on_underflow = (fun view ~current ~count -> on_underflow t view ~current ~count);
+    on_search_compact = (fun view ~current -> on_search_compact t view ~current);
+    on_merge = (fun view ~total ~left ~right -> on_merge t view ~total ~left ~right);
+    underflow_at = (fun spec ~std_capacity ~count -> underflow_at t spec ~std_capacity ~count);
+  }

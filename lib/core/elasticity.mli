@@ -1,0 +1,53 @@
+(** The B+-tree elasticity algorithm (§4 of the paper).
+
+    The algorithm keeps the index size near a soft bound: it enters the
+    {e shrinking} state when the tracked size reaches
+    [shrink_fraction * size_bound] and — with hysteresis — the
+    {e expanding} state when the size falls below
+    [expand_fraction * size_bound], returning to {e normal} once no
+    compact leaves remain.
+
+    Conversions piggyback on structure modifications: overflowing
+    standard leaves convert to SeqTrees of twice the capacity instead of
+    splitting (shrinking state); overflowing compact leaves double their
+    capacity up to [max_compact_capacity]; underflowing compact leaves
+    walk back down the progression; and in the expanding state a search
+    reaching a compact leaf randomly splits it. *)
+
+type state = Normal | Shrinking | Expanding
+
+val state_name : state -> string
+
+type config = {
+  size_bound : int;                 (** soft index size bound, bytes *)
+  shrink_fraction : float;          (** enter shrinking at this * bound *)
+  expand_fraction : float;          (** enter expanding below this * bound *)
+  initial_compact_capacity : int;   (** first SeqTree capacity (2n) *)
+  max_compact_capacity : int;       (** compact capacity cap (128) *)
+  seq_levels : int;                 (** BlindiTree levels (2) *)
+  breathing : int;                  (** breathing slack (4) *)
+  search_split_probability : float; (** expansion-state split chance *)
+  cold_sweep_period : int;
+  (** operations between cold-compaction sweeps; 0 disables the
+      access-aware policy variant (§4 design space) *)
+  cold_sweep_batch : int;           (** leaves inspected per sweep *)
+  seed : int;
+}
+
+val default_config : size_bound:int -> config
+(** The paper's §6.1 parameters: shrink at 90%, expand below 75%,
+    capacities 32..128, tree levels 2, breathing 4. *)
+
+type t
+
+val create : std_capacity:int -> config -> t
+(** [std_capacity] is the standard-leaf capacity of the tree the policy
+    will drive. *)
+
+val state : t -> state
+val transitions : t -> int
+(** Number of state transitions so far. *)
+
+val policy : t -> Ei_btree.Policy.t
+(** The leaf policy implementing the algorithm, to plug into
+    {!Ei_btree.Btree.create}. *)

@@ -1,0 +1,188 @@
+(* A uniform first-class interface over every ordered index in the
+   repository, so workload drivers, the MCAS table plugin, benchmarks
+   and examples can be written once and run against any of them. *)
+
+type t = {
+  name : string;
+  insert : string -> int -> bool;
+  remove : string -> bool;
+  update : string -> int -> bool;  (* in-place value overwrite *)
+  find : string -> int option;
+  scan : string -> int -> int;
+  (* [scan start n] visits up to [n] entries with key >= start and
+     returns how many were visited; visiting materialises each key (the
+     included-column access pattern of §2). *)
+  scan_keys : string -> int -> (string -> unit) -> int;
+  (* like [scan] but hands each visited key to the callback: the
+     included-column query path of §2 (results computed from key bytes) *)
+  memory_bytes : unit -> int;
+  count : unit -> int;
+  info : unit -> string;  (* index-specific status, e.g. elastic state *)
+}
+
+let checksum = ref 0
+(* Scanned keys are folded into this sink so the compiler cannot elide
+   the key materialisation work. *)
+
+let of_btree name (tree : Ei_btree.Btree.t) =
+  {
+    name;
+    insert = Ei_btree.Btree.insert tree;
+    remove = Ei_btree.Btree.remove tree;
+    update = Ei_btree.Btree.update tree;
+    find = Ei_btree.Btree.find tree;
+    scan =
+      (fun start n ->
+        Ei_btree.Btree.fold_range tree ~start ~n
+          (fun acc k _ ->
+            checksum := !checksum lxor Char.code (String.unsafe_get k 0);
+            acc + 1)
+          0);
+    scan_keys =
+      (fun start n visit ->
+        Ei_btree.Btree.fold_range tree ~start ~n
+          (fun acc k _ ->
+            visit k;
+            acc + 1)
+          0);
+    memory_bytes = (fun () -> Ei_btree.Btree.memory_bytes tree);
+    count = (fun () -> Ei_btree.Btree.count tree);
+    info = (fun () -> "");
+  }
+
+let of_elastic name (tree : Ei_core.Elastic_btree.t) =
+  {
+    name;
+    insert = Ei_core.Elastic_btree.insert tree;
+    remove = Ei_core.Elastic_btree.remove tree;
+    update = Ei_core.Elastic_btree.update tree;
+    find = Ei_core.Elastic_btree.find tree;
+    scan =
+      (fun start n ->
+        Ei_core.Elastic_btree.fold_range tree ~start ~n
+          (fun acc k _ ->
+            checksum := !checksum lxor Char.code (String.unsafe_get k 0);
+            acc + 1)
+          0);
+    scan_keys =
+      (fun start n visit ->
+        Ei_core.Elastic_btree.fold_range tree ~start ~n
+          (fun acc k _ ->
+            visit k;
+            acc + 1)
+          0);
+    memory_bytes = (fun () -> Ei_core.Elastic_btree.memory_bytes tree);
+    count = (fun () -> Ei_core.Elastic_btree.count tree);
+    info =
+      (fun () ->
+        Ei_core.Elasticity.state_name (Ei_core.Elastic_btree.state tree));
+  }
+
+let of_radix name (tree : Ei_baselines.Radix.t) =
+  {
+    name;
+    insert = Ei_baselines.Radix.insert tree;
+    remove = Ei_baselines.Radix.remove tree;
+    update = Ei_baselines.Radix.update tree;
+    find = Ei_baselines.Radix.find tree;
+    scan =
+      (fun start n ->
+        Ei_baselines.Radix.fold_range tree ~start ~n
+          (fun acc k _ ->
+            checksum := !checksum lxor Char.code (String.unsafe_get k 0);
+            acc + 1)
+          0);
+    scan_keys =
+      (fun start n visit ->
+        Ei_baselines.Radix.fold_range tree ~start ~n
+          (fun acc k _ ->
+            visit k;
+            acc + 1)
+          0);
+    memory_bytes = (fun () -> Ei_baselines.Radix.memory_bytes tree);
+    count = (fun () -> Ei_baselines.Radix.count tree);
+    info = (fun () -> "");
+  }
+
+let of_elastic_skiplist name (tree : Ei_core.Elastic_skiplist.t) =
+  {
+    name;
+    insert = Ei_core.Elastic_skiplist.insert tree;
+    remove = Ei_core.Elastic_skiplist.remove tree;
+    update = Ei_core.Elastic_skiplist.update_value tree;
+    find = Ei_core.Elastic_skiplist.find tree;
+    scan =
+      (fun start n ->
+        Ei_core.Elastic_skiplist.fold_range tree ~start ~n
+          (fun acc k _ ->
+            checksum := !checksum lxor Char.code (String.unsafe_get k 0);
+            acc + 1)
+          0);
+    scan_keys =
+      (fun start n visit ->
+        Ei_core.Elastic_skiplist.fold_range tree ~start ~n
+          (fun acc k _ ->
+            visit k;
+            acc + 1)
+          0);
+    memory_bytes = (fun () -> Ei_core.Elastic_skiplist.memory_bytes tree);
+    count = (fun () -> Ei_core.Elastic_skiplist.count tree);
+    info =
+      (fun () ->
+        Ei_core.Elastic_skiplist.state_name (Ei_core.Elastic_skiplist.state tree));
+  }
+
+let of_hybrid name (tree : Ei_baselines.Hybrid.t) =
+  {
+    name;
+    insert = Ei_baselines.Hybrid.insert tree;
+    remove = Ei_baselines.Hybrid.remove tree;
+    update = Ei_baselines.Hybrid.update tree;
+    find = Ei_baselines.Hybrid.find tree;
+    scan =
+      (fun start n ->
+        Ei_baselines.Hybrid.fold_range tree ~start ~n
+          (fun acc k _ ->
+            checksum := !checksum lxor Char.code (String.unsafe_get k 0);
+            acc + 1)
+          0);
+    scan_keys =
+      (fun start n visit ->
+        Ei_baselines.Hybrid.fold_range tree ~start ~n
+          (fun acc k _ ->
+            visit k;
+            acc + 1)
+          0);
+    memory_bytes = (fun () -> Ei_baselines.Hybrid.memory_bytes tree);
+    count = (fun () -> Ei_baselines.Hybrid.count tree);
+    info =
+      (fun () ->
+        Printf.sprintf "%d merges"
+          (Ei_baselines.Hybrid.stats tree).Ei_baselines.Hybrid.merges);
+  }
+
+let of_skiplist name (tree : Ei_baselines.Skiplist.t) =
+  {
+    name;
+    insert = Ei_baselines.Skiplist.insert tree;
+    remove = Ei_baselines.Skiplist.remove tree;
+    update = Ei_baselines.Skiplist.update tree;
+    find = Ei_baselines.Skiplist.find tree;
+    scan =
+      (fun start n ->
+        Ei_baselines.Skiplist.fold_range tree ~start ~n
+          (fun acc k _ ->
+            checksum := !checksum lxor Char.code (String.unsafe_get k 0);
+            acc + 1)
+          0);
+    scan_keys =
+      (fun start n visit ->
+        Ei_baselines.Skiplist.fold_range tree ~start ~n
+          (fun acc k _ ->
+            visit k;
+            acc + 1)
+          0);
+    memory_bytes = (fun () -> Ei_baselines.Skiplist.memory_bytes tree);
+    count = (fun () -> Ei_baselines.Skiplist.count tree);
+    info = (fun () -> "");
+  }

@@ -1,0 +1,31 @@
+(** A uniform first-class interface over every ordered index in the
+    repository, so workload drivers, the MCAS table plugin, benchmarks
+    and examples are written once. *)
+
+type t = {
+  name : string;
+  insert : string -> int -> bool;
+  remove : string -> bool;
+  update : string -> int -> bool;  (** in-place value overwrite *)
+  find : string -> int option;
+  scan : string -> int -> int;
+      (** [scan start n] visits up to [n] entries with key >= start and
+          returns how many were visited; each visited key is
+          materialised (the included-column access pattern of §2) *)
+  scan_keys : string -> int -> (string -> unit) -> int;
+      (** like [scan] but hands each visited key to the callback — the
+          included-column query path of §2 *)
+  memory_bytes : unit -> int;
+  count : unit -> int;
+  info : unit -> string;  (** index-specific status, e.g. elastic state *)
+}
+
+val checksum : int ref
+(** Sink for scanned key bytes (prevents dead-code elimination). *)
+
+val of_btree : string -> Ei_btree.Btree.t -> t
+val of_elastic : string -> Ei_core.Elastic_btree.t -> t
+val of_radix : string -> Ei_baselines.Radix.t -> t
+val of_skiplist : string -> Ei_baselines.Skiplist.t -> t
+val of_hybrid : string -> Ei_baselines.Hybrid.t -> t
+val of_elastic_skiplist : string -> Ei_core.Elastic_skiplist.t -> t

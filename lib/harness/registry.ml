@@ -1,0 +1,81 @@
+(* Construct any of the evaluated indexes by name — the index zoo of §6:
+   STX, STX-SeqTree128, STX-SubTrie, the elastic B+-tree (with a
+   configurable shrink bound), the HOT substitute, ART mode, and the
+   skip list. *)
+
+type kind =
+  | Stx
+  | Seqtree of int        (* STX-SeqTree with this leaf capacity *)
+  | Subtrie of int        (* STX-SubTrie with this leaf capacity *)
+  | Stringtrie of int     (* STX-StringBTrie with this leaf capacity *)
+  | Elastic of Ei_core.Elasticity.config
+  | Prefix  (* prefix-compressed B+-tree (key truncation) *)
+  | Bwtree  (* Bw-tree-style delta-chained leaves *)
+  | Hot
+  | Art
+  | Skiplist
+  | Hybrid of float  (* two-stage hybrid index with this merge ratio *)
+  | Elastic_skiplist of Ei_core.Elastic_skiplist.config
+
+let kind_name = function
+  | Stx -> "stx"
+  | Seqtree c -> Printf.sprintf "seqtree%d" c
+  | Subtrie c -> Printf.sprintf "subtrie%d" c
+  | Stringtrie c -> Printf.sprintf "stringtrie%d" c
+  | Elastic _ -> "elastic"
+  | Prefix -> "prefix"
+  | Bwtree -> "bwtree"
+  | Hot -> "hot"
+  | Art -> "art"
+  | Skiplist -> "skiplist"
+  | Hybrid _ -> "hybrid"
+  | Elastic_skiplist _ -> "elastic-skiplist"
+
+let make ?name ?(leaf_capacity = 16) ~key_len ~load kind =
+  let name = match name with Some n -> n | None -> kind_name kind in
+  match kind with
+  | Stx ->
+    Index_ops.of_btree name
+      (Ei_btree.Btree.create ~leaf_capacity ~key_len ~load
+         ~policy:Ei_btree.Policy.stx ())
+  | Seqtree capacity ->
+    Index_ops.of_btree name
+      (Ei_btree.Btree.create ~leaf_capacity ~key_len ~load
+         ~policy:(Ei_btree.Policy.all_seqtree ~capacity ())
+         ())
+  | Subtrie capacity ->
+    Index_ops.of_btree name
+      (Ei_btree.Btree.create ~leaf_capacity ~key_len ~load
+         ~policy:(Ei_btree.Policy.all_subtrie ~capacity ())
+         ())
+  | Stringtrie capacity ->
+    Index_ops.of_btree name
+      (Ei_btree.Btree.create ~leaf_capacity ~key_len ~load
+         ~policy:(Ei_btree.Policy.all_stringtrie ~capacity ())
+         ())
+  | Elastic config ->
+    Index_ops.of_elastic name
+      (Ei_core.Elastic_btree.create ~leaf_capacity ~key_len ~load config ())
+  | Prefix ->
+    Index_ops.of_btree name
+      (Ei_btree.Btree.create ~leaf_capacity ~key_len ~load
+         ~policy:(Ei_btree.Policy.all_prefix ())
+         ())
+  | Bwtree ->
+    Index_ops.of_btree name
+      (Ei_btree.Btree.create ~leaf_capacity ~key_len ~load
+         ~policy:(Ei_btree.Policy.all_bw ())
+         ())
+  | Hot ->
+    Index_ops.of_radix name
+      (Ei_baselines.Radix.create ~store_keys:false ~key_len ~load ())
+  | Art ->
+    Index_ops.of_radix name
+      (Ei_baselines.Radix.create ~store_keys:true ~key_len ~load ())
+  | Skiplist -> Index_ops.of_skiplist name (Ei_baselines.Skiplist.create ~key_len ())
+  | Hybrid merge_ratio ->
+    Index_ops.of_hybrid name
+      (Ei_baselines.Hybrid.create ~merge_ratio ~key_len ~load ())
+  | Elastic_skiplist config ->
+    Index_ops.of_elastic_skiplist name
+      (Ei_core.Elastic_skiplist.create ~key_len ~load config ())

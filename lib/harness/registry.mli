@@ -1,0 +1,30 @@
+(** Construct any of the evaluated indexes by kind: the index zoo of
+    §6.  All indexes implement {!Index_ops.t}. *)
+
+type kind =
+  | Stx                                    (** STX-style B+-tree *)
+  | Seqtree of int                         (** STX-SeqTree, leaf capacity *)
+  | Subtrie of int                         (** STX-SubTrie, leaf capacity *)
+  | Stringtrie of int                      (** STX-StringBTrie, leaf capacity *)
+  | Elastic of Ei_core.Elasticity.config   (** the elastic B+-tree *)
+  | Prefix                                 (** prefix-compressed B+-tree *)
+  | Bwtree                                 (** Bw-tree-style delta chains *)
+  | Hot                                    (** blind radix trie, indirect keys *)
+  | Art                                    (** blind radix trie, stored keys *)
+  | Skiplist
+  | Hybrid of float                        (** two-stage hybrid index [33],
+                                               with this merge ratio *)
+  | Elastic_skiplist of Ei_core.Elastic_skiplist.config
+                                           (** the framework on a skip list *)
+
+val kind_name : kind -> string
+
+val make :
+  ?name:string ->
+  ?leaf_capacity:int ->
+  key_len:int ->
+  load:(int -> string) ->
+  kind ->
+  Index_ops.t
+(** [make ~key_len ~load kind] builds an index.  [load tid] must return
+    the indexed key of row [tid] (used by indirect-key indexes). *)

@@ -1,0 +1,34 @@
+(** The indexed multi-column log table ADO plugin of §6.3.
+
+    Rows are stored column-wise (timestamp, request type, object id,
+    size) and indexed by the 16-byte (timestamp, object id) composite
+    key.  The index is pluggable via {!Ei_harness.Registry.kind};
+    compact indexes reconstruct keys from the columns. *)
+
+type t
+
+val key_len : int
+(** 16 bytes: (timestamp, object id). *)
+
+val create :
+  ?initial_capacity:int -> index_kind:Ei_harness.Registry.kind -> unit -> t
+
+val ingest : t -> Ei_workload.Iotta.row -> unit
+(** Append a row and index it.  Raises on duplicate key. *)
+
+val lookup : t -> string -> Ei_workload.Iotta.row option
+val scan : t -> start:string -> n:int -> int
+
+val distinct_objects : t -> start:string -> n:int -> int
+(** Monitoring query: distinct object ids among the next [n] entries,
+    computed from the index keys alone (§2's included-column query). *)
+
+val row_count : t -> int
+val index_memory_bytes : t -> int
+val data_bytes : t -> int
+val index_name : t -> string
+val index : t -> Ei_harness.Index_ops.t
+val index_info : t -> string
+
+val ado : t -> Ado.t
+(** Package the table as an ADO plugin for {!Store.attach_ado}. *)

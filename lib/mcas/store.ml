@@ -1,0 +1,100 @@
+(* MCAS-like in-memory store: a partitioned architecture in which each
+   partition's operations are handled by a single-threaded execution
+   engine [29].  Partitions hold a raw key-value pool plus optionally an
+   attached ADO plugin; clients address a partition and submit either
+   plain KV operations or ADO work requests.
+
+   This is the full-system substrate for §6.3: the end-to-end cost of an
+   operation includes the request dispatch and pool bookkeeping, which is
+   why index-level slowdowns translate into only small end-to-end
+   slowdowns (Fig 8). *)
+
+type partition = {
+  id : int;
+  pool : (string, string) Hashtbl.t;
+  mutable ado : Ado.t option;
+  mutable kv_ops : int;
+  mutable ado_ops : int;
+}
+
+type t = { partitions : partition array; request_work : int }
+
+(* Per-request engine work: MCAS is network-attached, so every operation
+   pays request (de)serialisation and engine dispatch before reaching the
+   index.  We model it with a fixed checksum loop over a request-sized
+   buffer ([request_work] rounds; ~2 microseconds at the default).  This
+   fixed cost is why §6.3 sees only 0.4-2.6% end-to-end degradation on
+   point operations while 1000-key scans — which amortise it over the
+   scan — still expose the index difference. *)
+let request_buffer = Bytes.make 256 '\x5a'
+
+let simulate_request_path rounds =
+  let acc = ref 0 in
+  for r = 0 to rounds - 1 do
+    let i = (r * 13) land 255 in
+    acc := (!acc * 31) + Char.code (Bytes.unsafe_get request_buffer i)
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let create ?(partitions = 1) ?(request_work = 2048) () =
+  assert (partitions >= 1);
+  {
+    partitions =
+      Array.init partitions (fun id ->
+          { id; pool = Hashtbl.create 1024; ado = None; kv_ops = 0; ado_ops = 0 });
+    request_work;
+  }
+
+let partition_count t = Array.length t.partitions
+
+(* Deterministic partition routing by key hash. *)
+let route t key = Hashtbl.hash key mod Array.length t.partitions
+
+(* --- Plain KV operations -------------------------------------------- *)
+
+let put t key value =
+  simulate_request_path t.request_work;
+  let p = t.partitions.(route t key) in
+  p.kv_ops <- p.kv_ops + 1;
+  Hashtbl.replace p.pool key value
+
+let get t key =
+  simulate_request_path t.request_work;
+  let p = t.partitions.(route t key) in
+  p.kv_ops <- p.kv_ops + 1;
+  Hashtbl.find_opt p.pool key
+
+let delete t key =
+  simulate_request_path t.request_work;
+  let p = t.partitions.(route t key) in
+  p.kv_ops <- p.kv_ops + 1;
+  let existed = Hashtbl.mem p.pool key in
+  Hashtbl.remove p.pool key;
+  existed
+
+(* --- ADO ------------------------------------------------------------- *)
+
+let attach_ado t ~partition ado =
+  let p = t.partitions.(partition) in
+  assert (p.ado = None);
+  p.ado <- Some ado
+
+let invoke t ~partition work =
+  simulate_request_path t.request_work;
+  let p = t.partitions.(partition) in
+  p.ado_ops <- p.ado_ops + 1;
+  match p.ado with
+  | Some ado -> ado.Ado.on_work work
+  | None -> invalid_arg "Store.invoke: no ADO attached"
+
+let ado_ops t ~partition = t.partitions.(partition).ado_ops
+
+let ado_memory_bytes t ~partition =
+  match t.partitions.(partition).ado with
+  | Some ado -> ado.Ado.memory_bytes ()
+  | None -> 0
+
+let ado_data_bytes t ~partition =
+  match t.partitions.(partition).ado with
+  | Some ado -> ado.Ado.data_bytes ()
+  | None -> 0

@@ -1,0 +1,73 @@
+(** B+-tree with Optimistic Lock Coupling (Leis et al.), used by the
+    multithreaded evaluation (§6.2): BTreeOLC with standard leaves and
+    BTreeOLC-SeqTree with compact (indirect-key) leaves.
+
+    Readers descend without locking and validate per-node version words,
+    restarting on conflict; writers upgrade versions with a CAS.  Full
+    nodes split eagerly during descent while the parent is locked.
+    Deletions are lazy (no rebalancing), keeping the sibling chain used
+    by range scans immutable.  Safe to use from multiple domains. *)
+
+type t
+
+type leaf_kind =
+  | Olc_std
+  | Olc_seqtree of { capacity : int; levels : int; breathing : int }
+  | Olc_elastic of elastic_config
+      (** elastic BTreeOLC: the variant §6.2 names but does not
+          implement — leaf conversions happen in place under the leaf's
+          write lock, with shared atomic size/state accounting *)
+
+and elastic_config = {
+  size_bound : int;
+  shrink_fraction : float;
+  expand_fraction : float;
+  initial_compact_capacity : int;
+  max_compact_capacity : int;
+  seq_levels : int;
+  breathing : int;
+}
+
+val default_elastic_config : size_bound:int -> elastic_config
+
+val elastic_memory_bytes : t -> int
+(** Atomically tracked size (elastic trees only; 0 otherwise).  Safe to
+    read under concurrency, unlike {!memory_bytes}. *)
+
+val elastic_state_name : t -> string
+val elastic_compact_leaves : t -> int
+val elastic_conversions : t -> int
+
+val safe_loader :
+  key_len:int -> table_length:(unit -> int) -> load:(int -> string) ->
+  int -> string
+(** Wrap a table loader so torn optimistic reads of tuple ids cannot trip
+    bounds checks; out-of-range loads return a dummy key and version
+    validation rejects the result. *)
+
+val create :
+  ?leaf_capacity:int ->
+  ?inner_capacity:int ->
+  ?kind:leaf_kind ->
+  key_len:int ->
+  load:(int -> string) ->
+  unit ->
+  t
+
+val insert : t -> string -> int -> bool
+val remove : t -> string -> bool
+val find : t -> string -> int option
+val mem : t -> string -> bool
+
+val fold_range : t -> start:string -> n:int -> ('a -> string -> int -> 'a) -> 'a -> 'a
+(** Ordered scan: snapshots one leaf at a time under version validation,
+    walking the immutable sibling chain. *)
+
+val count : t -> int
+(** Full traversal; call without concurrent mutators. *)
+
+val memory_bytes : t -> int
+(** Size under the memory model; call without concurrent mutators. *)
+
+val check_invariants : t -> unit
+(** Single-threaded structural check (no concurrent mutators). *)

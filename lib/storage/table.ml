@@ -1,0 +1,48 @@
+(* In-memory row table: the database tuples that indexes point into.
+
+   The table stores each row's indexed key (the bytes of the indexed
+   column(s)).  A tuple identifier (tid) is the row's index in the table.
+   Compact index nodes hold only tids and load keys from here, which is
+   exactly the "indirect key storage" of the paper: every such access
+   models the extra memory reference into the base table. *)
+
+type t = {
+  key_len : int;
+  mutable keys : string array;
+  mutable n : int;
+  mutable loads : int;  (* number of indirect key loads, for profiling *)
+}
+
+let create ?(initial_capacity = 1024) ~key_len () =
+  { key_len; keys = Array.make (max 1 initial_capacity) ""; n = 0; loads = 0 }
+
+let length t = t.n
+let key_len t = t.key_len
+
+let grow t =
+  let cap = Array.length t.keys in
+  let keys = Array.make (2 * cap) "" in
+  Array.blit t.keys 0 keys 0 t.n;
+  t.keys <- keys
+
+let append t key =
+  assert (String.length key = t.key_len);
+  if t.n = Array.length t.keys then grow t;
+  t.keys.(t.n) <- key;
+  t.n <- t.n + 1;
+  t.n - 1
+
+let key t tid =
+  assert (tid >= 0 && tid < t.n);
+  t.loads <- t.loads + 1;
+  Array.unsafe_get t.keys tid
+
+(* Loader closure handed to indexes with indirect key storage. *)
+let loader t = key t
+
+let loads t = t.loads
+let reset_loads t = t.loads <- 0
+
+(* Size of the row data itself (excluding any index), for the dataset-size
+   baselines of §6.3: row payloads are fixed-size. *)
+let data_bytes ?(row_bytes = 0) t = t.n * (t.key_len + row_bytes)

@@ -1,0 +1,28 @@
+(** In-memory row table: the database tuples indexes point into.
+
+    A tuple identifier ([tid]) is the row's index in the table.  Compact
+    index nodes store only tids and load keys from the table through
+    {!loader}, modelling the paper's indirect key storage.  Every load is
+    counted so benchmarks can report indirect-access costs. *)
+
+type t
+
+val create : ?initial_capacity:int -> key_len:int -> unit -> t
+
+val length : t -> int
+val key_len : t -> int
+
+val append : t -> string -> int
+(** Append a row with the given indexed key; returns its tid. *)
+
+val key : t -> int -> string
+(** Load the indexed key of a row (counted as an indirect load). *)
+
+val loader : t -> int -> string
+(** [loader t] is the [load_key] closure handed to indexes. *)
+
+val loads : t -> int
+val reset_loads : t -> unit
+
+val data_bytes : ?row_bytes:int -> t -> int
+(** Size of the stored row data: [n * (key_len + row_bytes)]. *)

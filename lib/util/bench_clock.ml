@@ -1,0 +1,17 @@
+(* Small timing helpers shared by the benchmark harness and examples.
+   Wall-clock time is used so that multi-domain experiments measure real
+   elapsed time. *)
+
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let r = f () in
+  let t1 = now () in
+  (r, t1 -. t0)
+
+let mops count seconds =
+  if seconds <= 0.0 then Float.infinity
+  else float_of_int count /. seconds /. 1.0e6
+
+let mib bytes = float_of_int bytes /. (1024.0 *. 1024.0)

@@ -1,0 +1,13 @@
+(** Wall-clock timing helpers for the benchmark harness and examples. *)
+
+val now : unit -> float
+(** Current wall-clock time in seconds. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with elapsed seconds. *)
+
+val mops : int -> float -> float
+(** [mops count seconds] is throughput in million operations/second. *)
+
+val mib : int -> float
+(** Bytes to MiB. *)

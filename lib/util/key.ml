@@ -1,0 +1,83 @@
+(* Fixed-length binary keys.
+
+   A key is an immutable byte string compared lexicographically.  Integer
+   keys are encoded big-endian so lexicographic order coincides with
+   numeric order, which is what every ordered index here relies on.
+
+   Bits are numbered from zero starting at the most significant bit of
+   byte 0, as in the paper (§5.2). *)
+
+type t = string
+
+let compare = String.compare
+let equal = String.equal
+let length = String.length
+
+let of_string s = s
+let to_string k = k
+
+let of_int64 v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 v;
+  Bytes.unsafe_to_string b
+
+let to_int64 k =
+  assert (String.length k = 8);
+  String.get_int64_be k 0
+
+(* Encode a non-negative OCaml int as an 8-byte big-endian key. *)
+let of_int v =
+  assert (v >= 0);
+  of_int64 (Int64.of_int v)
+
+let to_int k = Int64.to_int (to_int64 k)
+
+let of_int_pair hi lo =
+  let b = Bytes.create 16 in
+  Bytes.set_int64_be b 0 (Int64.of_int hi);
+  Bytes.set_int64_be b 8 (Int64.of_int lo);
+  Bytes.unsafe_to_string b
+
+let bits k = 8 * String.length k
+
+(* Bit [i] of the key, MSB of byte 0 being bit 0. *)
+let bit k i =
+  let byte = Char.code (String.unsafe_get k (i lsr 3)) in
+  (byte lsr (7 - (i land 7))) land 1
+
+(* Index of the most significant set bit of a byte in MSB-first numbering,
+   i.e. 0 for 0x80..0xff, 7 for 0x01. *)
+let msb_first_diff_in_byte x =
+  assert (x <> 0);
+  let rec loop i = if x land (0x80 lsr i) <> 0 then i else loop (i + 1) in
+  loop 0
+
+(* Position of the first bit in which [a] and [b] differ, or None if the
+   keys are equal.  Keys must have equal length. *)
+let first_diff_bit a b =
+  let n = String.length a in
+  assert (String.length b = n);
+  let rec loop i =
+    if i >= n then None
+    else
+      let xa = Char.code (String.unsafe_get a i)
+      and xb = Char.code (String.unsafe_get b i) in
+      if xa = xb then loop (i + 1)
+      else Some ((i * 8) + msb_first_diff_in_byte (xa lxor xb))
+  in
+  loop 0
+
+let to_hex k =
+  let buf = Buffer.create (2 * String.length k) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) k;
+  Buffer.contents buf
+
+let pp ppf k = Fmt.string ppf (to_hex k)
+
+(* Random key of [len] bytes. *)
+let random rng len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set b i (Char.chr (Rng.int rng 256))
+  done;
+  Bytes.unsafe_to_string b

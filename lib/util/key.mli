@@ -1,0 +1,43 @@
+(** Fixed-length binary keys compared lexicographically.
+
+    Integer encodings are big-endian, so lexicographic order equals
+    numeric order.  Bits are numbered from zero starting at the most
+    significant bit of byte 0, matching the paper's convention. *)
+
+type t = string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val length : t -> int
+
+val of_string : string -> t
+val to_string : t -> string
+
+val of_int64 : int64 -> t
+(** 8-byte big-endian encoding. *)
+
+val to_int64 : t -> int64
+
+val of_int : int -> t
+(** 8-byte big-endian encoding of a non-negative int. *)
+
+val to_int : t -> int
+
+val of_int_pair : int -> int -> t
+(** [of_int_pair hi lo] is a 16-byte composite key, [hi] ordered first. *)
+
+val bits : t -> int
+(** Number of bits in the key. *)
+
+val bit : t -> int -> int
+(** [bit k i] is bit [i] of [k] (0 or 1), MSB-first. *)
+
+val first_diff_bit : t -> t -> int option
+(** Position of the first differing bit between two equal-length keys,
+    or [None] if equal. *)
+
+val to_hex : t -> string
+val pp : Format.formatter -> t -> unit
+
+val random : Rng.t -> int -> t
+(** [random rng len] is a uniformly random key of [len] bytes. *)

@@ -1,0 +1,32 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    Every workload generator in the repository draws from this generator,
+    so experiments are reproducible given a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. *)
+
+val copy : t -> t
+(** Independent copy with the same state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val next_int : t -> int
+(** Uniform non-negative int over [0, 2{^62}). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform over [0, bound). Requires [bound > 0]. *)
+
+val float : t -> float
+(** Uniform over [0, 1). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** A new generator seeded from this one. *)

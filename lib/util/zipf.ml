@@ -1,0 +1,66 @@
+(* Zipfian and related skewed distributions, following the YCSB
+   implementation (Gray et al., "Quickly generating billion-record
+   synthetic databases").
+
+   [Zipf.t] draws item ranks in [0, n) with P(rank = i) proportional to
+   1/(i+1)^theta.  The scrambled variant hashes the rank so that popular
+   items are spread over the key space, as YCSB does. *)
+
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  half_pow_theta : float;
+  scramble : bool;
+}
+
+let zeta n theta =
+  let sum = ref 0.0 in
+  for i = 1 to n do
+    sum := !sum +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !sum
+
+let default_theta = 0.99
+
+let create ?(theta = default_theta) ?(scramble = false) n =
+  assert (n > 0);
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+    /. (1.0 -. (zeta2 /. zetan))
+  in
+  { n; theta; alpha; zetan; eta; half_pow_theta = 1.0 +. Float.pow 0.5 theta; scramble }
+
+(* 64-bit finaliser of splitmix64, used to scramble ranks. *)
+let fnv_scramble x =
+  let z = Int64.of_int x in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.shift_right_logical z 2)
+
+let next t rng =
+  let u = Rng.float rng in
+  let uz = u *. t.zetan in
+  let rank =
+    if uz < 1.0 then 0
+    else if uz < t.half_pow_theta then 1
+    else
+      int_of_float
+        (float_of_int t.n *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha)
+  in
+  let rank = if rank >= t.n then t.n - 1 else rank in
+  if t.scramble then fnv_scramble rank mod t.n else rank
+
+(* "Latest" distribution: skewed towards the most recently inserted item.
+   [next_latest t rng ~max_item] returns an index in [0, max_item] with
+   recent items most popular. *)
+let next_latest t rng ~max_item =
+  let r = next t rng in
+  let r = r mod (max_item + 1) in
+  max_item - r

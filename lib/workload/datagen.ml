@@ -1,0 +1,33 @@
+(* Daily data-volume model reproducing the burstiness of Figure 1: the
+   size of the data extracted per day from a cloud object-store's logs.
+
+   The paper reports many days at ~1.5x the period average and occasional
+   days at 2x-3.5x.  We model a baseline log-normal-ish day-to-day
+   variation plus a small probability of a spike day. *)
+
+module Rng = Ei_util.Rng
+
+(* Relative daily volumes, normalised so the mean is ~1.0. *)
+let daily_volumes ?(seed = 1) ~days () =
+  let rng = Rng.create seed in
+  let raw =
+    Array.init days (fun _ ->
+        (* Baseline: 0.5x-1.5x, mildly skewed upwards. *)
+        let base = 0.5 +. Rng.float rng in
+        let spike = Rng.float rng in
+        if spike < 0.04 then base *. (2.0 +. (Rng.float rng *. 1.5))
+        else if spike < 0.15 then base *. 1.5
+        else base)
+  in
+  let mean = Array.fold_left ( +. ) 0.0 raw /. float_of_int days in
+  Array.map (fun v -> v /. mean) raw
+
+(* Summary statistics used by the fig1 benchmark output. *)
+let stats volumes =
+  let n = Array.length volumes in
+  let mean = Array.fold_left ( +. ) 0.0 volumes /. float_of_int n in
+  let above threshold =
+    Array.fold_left (fun a v -> if v >= threshold *. mean then a + 1 else a) 0 volumes
+  in
+  let max_v = Array.fold_left Float.max 0.0 volumes in
+  (mean, above 1.5, above 2.0, max_v)

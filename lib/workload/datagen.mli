@@ -1,0 +1,9 @@
+(** Daily data-volume model reproducing the burstiness of Figure 1:
+    many days near the period average, some at 1.5x, occasional spikes
+    of 2x-3.5x. *)
+
+val daily_volumes : ?seed:int -> days:int -> unit -> float array
+(** Relative daily volumes, normalised to a mean of ~1.0. *)
+
+val stats : float array -> float * int * int * float
+(** [(mean, days >= 1.5x, days >= 2x, max)] of a volume series. *)

@@ -1,0 +1,461 @@
+(* Property and unit tests for the blind-trie node representations:
+   SeqTree (all tree levels, with and without breathing) and SubTrie.
+   Every representation is compared against a sorted-array reference
+   model on random operation sequences, and structural invariants are
+   checked after each mutation. *)
+
+module Key = Ei_util.Key
+module Rng = Ei_util.Rng
+module Table = Ei_storage.Table
+module Seqtree = Ei_blindi.Seqtree
+module Subtrie = Ei_blindi.Subtrie
+module Stringtrie = Ei_blindi.Stringtrie
+
+(* ------------------------------------------------------------------ *)
+(* Reference model: sorted array of (key, tid).                        *)
+
+module Ref_model = struct
+  type t = { mutable entries : (string * int) list }
+
+  let create () = { entries = [] }
+
+  let insert t key tid =
+    if List.mem_assoc key t.entries then `Duplicate
+    else begin
+      t.entries <-
+        List.sort (fun (a, _) (b, _) -> Key.compare a b) ((key, tid) :: t.entries);
+      `Ok
+    end
+
+  let remove t key =
+    if List.mem_assoc key t.entries then begin
+      t.entries <- List.remove_assoc key t.entries;
+      `Ok
+    end
+    else `Absent
+
+  let count t = List.length t.entries
+
+  (* Position of [key] if present, else predecessor position (-1 if none):
+     the same semantics as Seqtree.locate. *)
+  let locate t key =
+    let arr = Array.of_list t.entries in
+    let n = Array.length arr in
+    let rec scan i =
+      if i >= n then `Pred (n - 1)
+      else
+        let c = Key.compare key (fst arr.(i)) in
+        if c = 0 then `Found i else if c < 0 then `Pred (i - 1) else scan (i + 1)
+    in
+    scan 0
+
+  let tid_at t i = snd (List.nth t.entries i)
+  let _keys t = List.map fst t.entries
+  let tids t = List.map snd t.entries
+end
+
+(* ------------------------------------------------------------------ *)
+(* Random keys backed by a table.                                      *)
+
+let fresh_key rng table seen key_len =
+  let rec draw () =
+    let k = Key.random rng key_len in
+    if Hashtbl.mem seen k then draw () else k
+  in
+  let k = draw () in
+  Hashtbl.add seen k ();
+  let tid = Table.append table k in
+  (k, tid)
+
+(* ------------------------------------------------------------------ *)
+(* Generic driver over a node implementation.                          *)
+
+module type NODE = sig
+  type t
+
+  val count : t -> int
+  val tid_at : t -> int -> int
+  val locate : t -> load:(int -> string) -> string -> [ `Found of int | `Pred of int ]
+  val insert : t -> load:(int -> string) -> string -> int -> [ `Ok | `Full | `Dup ]
+  val remove : t -> load:(int -> string) -> string -> [ `Ok | `Absent ]
+  val check : t -> load:(int -> string) -> unit
+end
+
+module Seqtree_node : NODE with type t = Seqtree.t = struct
+  type t = Seqtree.t
+
+  let count = Seqtree.count
+  let tid_at = Seqtree.tid_at
+
+  let locate t ~load key =
+    match Seqtree.locate t ~load key with
+    | Seqtree.Found i -> `Found i
+    | Seqtree.Pred p -> `Pred p
+
+  let insert t ~load key tid =
+    match Seqtree.insert t ~load key tid with
+    | Seqtree.Inserted -> `Ok
+    | Seqtree.Full -> `Full
+    | Seqtree.Duplicate -> `Dup
+
+  let remove t ~load key =
+    match Seqtree.remove t ~load key with
+    | Seqtree.Removed -> `Ok
+    | Seqtree.Not_present -> `Absent
+
+  let check t ~load = Seqtree.check_invariants t ~load
+end
+
+module Stringtrie_node : NODE with type t = Stringtrie.t = struct
+  type t = Stringtrie.t
+
+  let count = Stringtrie.count
+  let tid_at = Stringtrie.tid_at
+
+  let locate t ~load key =
+    match Stringtrie.locate t ~load key with
+    | Stringtrie.Found i -> `Found i
+    | Stringtrie.Pred p -> `Pred p
+
+  let insert t ~load key tid =
+    match Stringtrie.insert t ~load key tid with
+    | Stringtrie.Inserted -> `Ok
+    | Stringtrie.Full -> `Full
+    | Stringtrie.Duplicate -> `Dup
+
+  let remove t ~load key =
+    match Stringtrie.remove t ~load key with
+    | Stringtrie.Removed -> `Ok
+    | Stringtrie.Not_present -> `Absent
+
+  let check t ~load = Stringtrie.check_invariants t ~load
+end
+
+module Subtrie_node : NODE with type t = Subtrie.t = struct
+  type t = Subtrie.t
+
+  let count = Subtrie.count
+  let tid_at = Subtrie.tid_at
+
+  let locate t ~load key =
+    match Subtrie.locate t ~load key with
+    | Subtrie.Found i -> `Found i
+    | Subtrie.Pred p -> `Pred p
+
+  let insert t ~load key tid =
+    match Subtrie.insert t ~load key tid with
+    | Subtrie.Inserted -> `Ok
+    | Subtrie.Full -> `Full
+    | Subtrie.Duplicate -> `Dup
+
+  let remove t ~load key =
+    match Subtrie.remove t ~load key with
+    | Subtrie.Removed -> `Ok
+    | Subtrie.Not_present -> `Absent
+
+  let check t ~load = Subtrie.check_invariants t ~load
+end
+
+(* Run a random operation sequence against a node and the reference model,
+   verifying results and invariants after every step. *)
+let run_trial (type a) (module N : NODE with type t = a) (node : a) ~capacity
+    ~key_len ~seed ~nops =
+  let rng = Rng.create seed in
+  let table = Table.create ~key_len () in
+  let load = Table.loader table in
+  let seen = Hashtbl.create 64 in
+  let model = Ref_model.create () in
+  let live = ref [] in
+  for _step = 1 to nops do
+    let choice = Rng.int rng 100 in
+    if choice < 50 && Ref_model.count model < capacity then begin
+      (* Insert a fresh key. *)
+      let k, tid = fresh_key rng table seen key_len in
+      (match (N.insert node ~load k tid, Ref_model.insert model k tid) with
+      | `Ok, `Ok -> live := k :: !live
+      | r, m ->
+        Alcotest.failf "insert mismatch: node=%s model=%s"
+          (match r with `Ok -> "ok" | `Full -> "full" | `Dup -> "dup")
+          (match m with `Ok -> "ok" | `Duplicate -> "dup"))
+    end
+    else if choice < 65 && !live <> [] then begin
+      (* Remove a random live key. *)
+      let k = List.nth !live (Rng.int rng (List.length !live)) in
+      (match (N.remove node ~load k, Ref_model.remove model k) with
+      | `Ok, `Ok -> live := List.filter (fun k' -> not (Key.equal k k')) !live
+      | _ -> Alcotest.fail "remove mismatch")
+    end
+    else if choice < 75 then begin
+      (* Duplicate insert / absent remove must be rejected. *)
+      match !live with
+      | k :: _ ->
+        (match N.insert node ~load k (-1) with
+        | `Dup -> ()
+        | _ -> Alcotest.fail "duplicate insert accepted");
+        let absent = Key.random rng key_len in
+        if not (Hashtbl.mem seen absent) then (
+          match N.remove node ~load absent with
+          | `Absent -> ()
+          | `Ok -> Alcotest.fail "removed absent key")
+      | [] -> ()
+    end
+    else begin
+      (* Locate: a present key or a random probe. *)
+      let probe =
+        if Rng.bool rng && !live <> [] then
+          List.nth !live (Rng.int rng (List.length !live))
+        else Key.random rng key_len
+      in
+      match (N.locate node ~load probe, Ref_model.locate model probe) with
+      | `Found i, `Found j ->
+        if i <> j then Alcotest.failf "found at %d, expected %d" i j;
+        if N.tid_at node i <> Ref_model.tid_at model j then
+          Alcotest.fail "tid mismatch"
+      | `Pred i, `Pred j ->
+        if i <> j then Alcotest.failf "pred %d, expected %d" i j
+      | `Found _, `Pred _ -> Alcotest.fail "node found a key the model lacks"
+      | `Pred _, `Found _ -> Alcotest.fail "node missed a present key"
+    end;
+    N.check node ~load;
+    if N.count node <> Ref_model.count model then
+      Alcotest.failf "count mismatch: node=%d model=%d" (N.count node)
+        (Ref_model.count model)
+  done;
+  (* Final sweep: tids in key order must match the model exactly. *)
+  let tids = List.init (N.count node) (fun i -> N.tid_at node i) in
+  if tids <> Ref_model.tids model then Alcotest.fail "final tid order mismatch"
+
+(* ------------------------------------------------------------------ *)
+(* Trial instantiations.                                               *)
+
+let seqtree_case ~key_len ~capacity ~levels ~breathing ~seed () =
+  let node = Seqtree.create ~key_len ~capacity ~levels ~breathing () in
+  run_trial (module Seqtree_node) node ~capacity ~key_len ~seed
+    ~nops:(6 * capacity)
+
+let subtrie_case ~key_len ~capacity ~seed () =
+  let node = Subtrie.create ~key_len ~capacity () in
+  run_trial (module Subtrie_node) node ~capacity ~key_len ~seed
+    ~nops:(6 * capacity)
+
+let stringtrie_case ~key_len ~capacity ~seed () =
+  let node = Stringtrie.create ~key_len ~capacity () in
+  run_trial (module Stringtrie_node) node ~capacity ~key_len ~seed
+    ~nops:(6 * capacity)
+
+let seqtree_grid =
+  List.concat_map
+    (fun key_len ->
+      List.concat_map
+        (fun (capacity, levels_list) ->
+          List.concat_map
+            (fun levels ->
+              List.map
+                (fun breathing ->
+                  let name =
+                    Printf.sprintf "seqtree k=%dB cap=%d lvl=%d s=%d" key_len
+                      capacity levels breathing
+                  in
+                  Alcotest.test_case name `Quick
+                    (seqtree_case ~key_len ~capacity ~levels ~breathing
+                       ~seed:(key_len + capacity + levels + breathing)))
+                [ 0; 1; 4 ])
+            levels_list)
+        [ (2, [ 0 ]); (16, [ 0; 2; 3 ]); (64, [ 0; 2; 5 ]); (128, [ 2; 6 ]) ])
+    [ 8; 16; 30 ]
+
+let subtrie_grid =
+  List.concat_map
+    (fun key_len ->
+      List.map
+        (fun capacity ->
+          let name = Printf.sprintf "subtrie k=%dB cap=%d" key_len capacity in
+          Alcotest.test_case name `Quick
+            (subtrie_case ~key_len ~capacity ~seed:(17 * key_len + capacity)))
+        [ 2; 16; 64; 128 ])
+    [ 8; 16; 30 ]
+
+let stringtrie_grid =
+  List.concat_map
+    (fun key_len ->
+      List.map
+        (fun capacity ->
+          let name = Printf.sprintf "stringtrie k=%dB cap=%d" key_len capacity in
+          Alcotest.test_case name `Quick
+            (stringtrie_case ~key_len ~capacity ~seed:(23 * key_len + capacity)))
+        [ 2; 16; 64; 128 ])
+    [ 8; 16; 30 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bulk construction / split / merge.                                  *)
+
+let sorted_fixture rng table ~key_len ~n =
+  let seen = Hashtbl.create 64 in
+  let pairs = Array.init n (fun _ -> fresh_key rng table seen key_len) in
+  Array.sort (fun (a, _) (b, _) -> Key.compare a b) pairs;
+  (Array.map fst pairs, Array.map snd pairs)
+
+let test_of_sorted () =
+  let rng = Rng.create 99 in
+  let table = Table.create ~key_len:8 () in
+  let load = Table.loader table in
+  let keys, tids = sorted_fixture rng table ~key_len:8 ~n:50 in
+  let t =
+    Seqtree.of_sorted ~key_len:8 ~capacity:64 ~levels:3 ~breathing:4 keys tids 50
+  in
+  Seqtree.check_invariants t ~load;
+  Array.iteri
+    (fun i k ->
+      match Seqtree.find t ~load k with
+      | Some tid -> Alcotest.(check int) "tid" tids.(i) tid
+      | None -> Alcotest.fail "key lost by of_sorted")
+    keys
+
+let test_split_merge () =
+  let rng = Rng.create 7 in
+  let table = Table.create ~key_len:8 () in
+  let load = Table.loader table in
+  let keys, tids = sorted_fixture rng table ~key_len:8 ~n:40 in
+  let t =
+    Seqtree.of_sorted ~key_len:8 ~capacity:64 ~levels:2 ~breathing:0 keys tids 40
+  in
+  let left, right = Seqtree.split t ~left_capacity:32 ~right_capacity:32 in
+  Seqtree.check_invariants left ~load;
+  Seqtree.check_invariants right ~load;
+  Alcotest.(check int) "left count" 20 (Seqtree.count left);
+  Alcotest.(check int) "right count" 20 (Seqtree.count right);
+  (* Every key findable in exactly the expected half. *)
+  Array.iteri
+    (fun i k ->
+      let half = if i < 20 then left else right in
+      match Seqtree.find half ~load k with
+      | Some tid -> Alcotest.(check int) "tid" tids.(i) tid
+      | None -> Alcotest.fail "key lost by split")
+    keys;
+  let merged = Seqtree.merge left right ~load ~capacity:64 ~levels:2 in
+  Seqtree.check_invariants merged ~load;
+  Alcotest.(check int) "merged count" 40 (Seqtree.count merged);
+  Array.iteri
+    (fun i k ->
+      match Seqtree.find merged ~load k with
+      | Some tid -> Alcotest.(check int) "tid" tids.(i) tid
+      | None -> Alcotest.fail "key lost by merge")
+    keys
+
+let test_subtrie_split_merge () =
+  let rng = Rng.create 8 in
+  let table = Table.create ~key_len:16 () in
+  let load = Table.loader table in
+  let keys, tids = sorted_fixture rng table ~key_len:16 ~n:30 in
+  let t = Subtrie.of_sorted ~key_len:16 ~capacity:32 keys tids 30 in
+  let left, right = Subtrie.split t ~left_capacity:32 ~right_capacity:32 in
+  Subtrie.check_invariants left ~load;
+  Subtrie.check_invariants right ~load;
+  let merged = Subtrie.merge left right ~load ~capacity:32 in
+  Subtrie.check_invariants merged ~load;
+  Array.iteri
+    (fun i k ->
+      match Subtrie.find merged ~load k with
+      | Some tid -> Alcotest.(check int) "tid" tids.(i) tid
+      | None -> Alcotest.fail "key lost")
+    keys
+
+let test_with_capacity () =
+  let rng = Rng.create 21 in
+  let table = Table.create ~key_len:8 () in
+  let load = Table.loader table in
+  let keys, tids = sorted_fixture rng table ~key_len:8 ~n:30 in
+  let t =
+    Seqtree.of_sorted ~key_len:8 ~capacity:32 ~levels:2 ~breathing:2 keys tids 30
+  in
+  let grown = Seqtree.with_capacity t ~capacity:64 ~levels:2 in
+  Seqtree.check_invariants grown ~load;
+  Alcotest.(check int) "capacity" 64 (Seqtree.capacity grown);
+  Array.iter
+    (fun k ->
+      if Seqtree.find grown ~load k = None then Alcotest.fail "key lost by grow")
+    keys
+
+(* ------------------------------------------------------------------ *)
+(* Scans.                                                              *)
+
+let test_lower_bound_scan () =
+  let rng = Rng.create 31 in
+  let table = Table.create ~key_len:8 () in
+  let load = Table.loader table in
+  let keys, tids = sorted_fixture rng table ~key_len:8 ~n:60 in
+  let t =
+    Seqtree.of_sorted ~key_len:8 ~capacity:64 ~levels:3 ~breathing:0 keys tids 60
+  in
+  for trial = 0 to 199 do
+    ignore trial;
+    let probe = Key.random rng 8 in
+    let pos = Seqtree.lower_bound t ~load probe in
+    (* Reference lower bound. *)
+    let expected =
+      let rec go i =
+        if i >= 60 then 60
+        else if Key.compare keys.(i) probe >= 0 then i
+        else go (i + 1)
+      in
+      go 0
+    in
+    Alcotest.(check int) "lower bound" expected pos;
+    (* A 5-element scan from the position yields consecutive tids. *)
+    let collected =
+      List.rev (Seqtree.fold_from t pos (fun acc tid -> tid :: acc) [])
+    in
+    let got = List.filteri (fun i _ -> i < 5) collected in
+    let expect_scan = Array.to_list (Array.sub tids expected (min 5 (60 - expected))) in
+    Alcotest.(check (list int)) "scan order" expect_scan got
+  done
+
+(* --- Breathing memory model --------------------------------------- *)
+
+let test_breathing_memory () =
+  let mk breathing =
+    Seqtree.create ~key_len:8 ~capacity:128 ~levels:2 ~breathing ()
+  in
+  let nobr = mk 0 and br = mk 4 in
+  (* Empty breathing node must be much smaller than a full-capacity tid
+     array node. *)
+  Alcotest.(check bool) "breathing saves space when sparse" true
+    (Seqtree.memory_bytes br < Seqtree.memory_bytes nobr);
+  (* Elasticity requirement (§4): a compact leaf with capacity 2n is
+     smaller than a standard leaf with capacity n.  For >= 16-byte keys
+     this holds outright; for 8-byte keys (where tuple ids dominate) it
+     relies on breathing at conversion-time occupancy, which is how the
+     paper configures the elastic B+-tree (s = 4). *)
+  let std16 = Ei_storage.Memmodel.std_leaf_bytes ~capacity:16 ~key_len:16 in
+  let compact16 =
+    Seqtree.create ~key_len:16 ~capacity:32 ~levels:2 ~breathing:0 ()
+  in
+  Alcotest.(check bool) "compact(2n) < std(n), 16B keys" true
+    (Seqtree.memory_bytes compact16 < std16);
+  let std8 = Ei_storage.Memmodel.std_leaf_bytes ~capacity:16 ~key_len:8 in
+  (* A just-converted compact leaf holds n+1 = 17 keys with slack 4. *)
+  let converted =
+    Ei_storage.Memmodel.seqtree_bytes ~capacity:32 ~key_len:8 ~levels:2
+      ~tid_slots:21 ~breathing:true
+  in
+  Alcotest.(check bool) "converted compact leaf < std leaf, 8B keys" true
+    (converted < std8)
+
+let () =
+  Alcotest.run "ei_blindi"
+    [
+      ("seqtree-grid", seqtree_grid);
+      ("subtrie-grid", subtrie_grid);
+      ("stringtrie-grid", stringtrie_grid);
+      ( "bulk",
+        [
+          Alcotest.test_case "of_sorted" `Quick test_of_sorted;
+          Alcotest.test_case "split/merge" `Quick test_split_merge;
+          Alcotest.test_case "subtrie split/merge" `Quick test_subtrie_split_merge;
+          Alcotest.test_case "with_capacity" `Quick test_with_capacity;
+        ] );
+      ( "scan",
+        [ Alcotest.test_case "lower_bound + fold" `Quick test_lower_bound_scan ] );
+      ( "memory",
+        [ Alcotest.test_case "breathing model" `Quick test_breathing_memory ] );
+    ]

@@ -1,0 +1,96 @@
+(* Unit tests for ei_storage: the row table (tuple ids, key loads, load
+   counters), the incremental tracker, and sanity anchors for the memory
+   model's formulas. *)
+
+module Table = Ei_storage.Table
+module Tracker = Ei_storage.Tracker
+module Memmodel = Ei_storage.Memmodel
+
+let test_table () =
+  let t = Table.create ~initial_capacity:2 ~key_len:8 () in
+  Alcotest.(check int) "empty" 0 (Table.length t);
+  (* Appends return consecutive tids and grow past the initial capacity. *)
+  let tids = List.init 100 (fun i -> Table.append t (Ei_util.Key.of_int i)) in
+  Alcotest.(check (list int)) "tids consecutive" (List.init 100 Fun.id) tids;
+  Alcotest.(check int) "length" 100 (Table.length t);
+  Alcotest.(check int) "key_len" 8 (Table.key_len t);
+  (* Loads return the stored key and are counted. *)
+  Table.reset_loads t;
+  let load = Table.loader t in
+  for i = 0 to 99 do
+    Alcotest.(check string) "load" (Ei_util.Key.of_int i) (load i)
+  done;
+  Alcotest.(check int) "loads counted" 100 (Table.loads t);
+  Table.reset_loads t;
+  Alcotest.(check int) "loads reset" 0 (Table.loads t);
+  Alcotest.(check int) "data bytes" (100 * (8 + 24))
+    (Table.data_bytes ~row_bytes:24 t)
+
+let test_tracker () =
+  let tr = Tracker.create () in
+  Tracker.add tr 100;
+  Tracker.add tr 50;
+  Alcotest.(check int) "bytes" 150 (Tracker.bytes tr);
+  Tracker.sub tr 120;
+  Alcotest.(check int) "after sub" 30 (Tracker.bytes tr);
+  Alcotest.(check int) "high water" 150 (Tracker.high_water tr);
+  Tracker.add tr 200;
+  Alcotest.(check int) "new high water" 230 (Tracker.high_water tr);
+  Tracker.reset tr;
+  Alcotest.(check int) "reset" 0 (Tracker.bytes tr)
+
+let test_memmodel_anchors () =
+  (* Anchor values the paper's arithmetic relies on. *)
+  (* A 16-slot STX leaf with 8-byte keys: 16*(8+8) data + header + links. *)
+  Alcotest.(check int) "std leaf 16x8B" (16 + 16 + (16 * 16))
+    (Memmodel.std_leaf_bytes ~capacity:16 ~key_len:8);
+  (* SeqTree at ~1 B/key for <=32-byte keys: bits array is 1 byte/entry. *)
+  Alcotest.(check int) "1B bit entries to 32B keys" 1
+    (Memmodel.bits_entry_bytes ~key_len:32);
+  Alcotest.(check int) "2B bit entries beyond" 2
+    (Memmodel.bits_entry_bytes ~key_len:33);
+  (* §5.4's arithmetic: for 32-byte keys tuple ids are ~90% of a SeqTree
+     node (bits ~1 B/key vs 8 B/key of tids, header amortised away). *)
+  let cap = 128 in
+  let total =
+    Memmodel.seqtree_bytes ~capacity:cap ~key_len:32 ~levels:2 ~tid_slots:cap
+      ~breathing:false
+  in
+  let tid_fraction = float_of_int (cap * 8) /. float_of_int total in
+  Alcotest.(check bool) "tids ~90% of compact node" true
+    (tid_fraction > 0.85 && tid_fraction < 0.93);
+  (* §4's requirement at 16-byte keys without breathing. *)
+  Alcotest.(check bool) "compact(2n) < std(n), 16B" true
+    (Memmodel.seqtree_bytes ~capacity:32 ~key_len:16 ~levels:2 ~tid_slots:32
+       ~breathing:false
+    < Memmodel.std_leaf_bytes ~capacity:16 ~key_len:16);
+  (* Prefix leaf degenerates to a standard leaf plus one byte when keys
+     share nothing. *)
+  Alcotest.(check int) "prefix leaf, no sharing"
+    (Memmodel.std_leaf_bytes ~capacity:16 ~key_len:16 + 1)
+    (Memmodel.prefix_leaf_bytes ~capacity:16 ~key_len:16 ~prefix_len:0);
+  (* The §5.1 per-key progression of the three blind-trie layouts. *)
+  let per_key f = float_of_int (f ~capacity:128 ~key_len:8) /. 128.0 in
+  let seq =
+    float_of_int
+      (Memmodel.seqtree_bytes ~capacity:128 ~key_len:8 ~levels:0 ~tid_slots:128
+         ~breathing:false)
+    /. 128.0
+  in
+  let sub = per_key Memmodel.subtrie_bytes in
+  let str = per_key Memmodel.stringtrie_bytes in
+  Alcotest.(check bool) "seqtrie < subtrie < stringtrie" true
+    (seq < sub && sub < str);
+  Alcotest.(check bool) "~1B/key steps" true
+    (sub -. seq > 0.8 && sub -. seq < 1.2 && str -. sub > 0.8 && str -. sub < 1.4)
+
+let () =
+  Alcotest.run "ei_storage"
+    [
+      ( "storage",
+        [
+          Alcotest.test_case "table" `Quick test_table;
+          Alcotest.test_case "tracker" `Quick test_tracker;
+          Alcotest.test_case "memory-model anchors" `Quick test_memmodel_anchors;
+        ] );
+    ]

@@ -1,0 +1,158 @@
+(* Unit and property tests for ei_util: keys, RNG, Zipfian generator. *)
+
+module Key = Ei_util.Key
+module Rng = Ei_util.Rng
+module Zipf = Ei_util.Zipf
+
+let check = Alcotest.check
+
+(* --- Key encoding ------------------------------------------------- *)
+
+let test_int_roundtrip () =
+  List.iter
+    (fun v -> check Alcotest.int "roundtrip" v (Key.to_int (Key.of_int v)))
+    [ 0; 1; 255; 256; 65535; 1_000_000; max_int / 4 ]
+
+let test_int_order () =
+  let rng = Rng.create 42 in
+  for _ = 1 to 1000 do
+    let a = Rng.next_int rng and b = Rng.next_int rng in
+    let ka = Key.of_int a and kb = Key.of_int b in
+    check Alcotest.int "order preserved" (compare a b)
+      (let c = Key.compare ka kb in
+       if c < 0 then -1 else if c > 0 then 1 else 0)
+  done
+
+let test_pair_order () =
+  let k1 = Key.of_int_pair 1 999 and k2 = Key.of_int_pair 2 0 in
+  check Alcotest.bool "hi component dominates" true (Key.compare k1 k2 < 0);
+  let k3 = Key.of_int_pair 1 5 and k4 = Key.of_int_pair 1 6 in
+  check Alcotest.bool "lo breaks ties" true (Key.compare k3 k4 < 0)
+
+let test_bit () =
+  (* 0x80 = bit 0 of byte 0 set. *)
+  let k = "\x80\x01" in
+  check Alcotest.int "msb" 1 (Key.bit k 0);
+  check Alcotest.int "bit1" 0 (Key.bit k 1);
+  check Alcotest.int "lsb of byte 1" 1 (Key.bit k 15);
+  check Alcotest.int "bit 14" 0 (Key.bit k 14)
+
+(* Naive reference for first_diff_bit. *)
+let naive_first_diff a b =
+  let n = 8 * String.length a in
+  let rec loop i =
+    if i >= n then None
+    else if Key.bit a i <> Key.bit b i then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let prop_first_diff =
+  QCheck.Test.make ~name:"first_diff_bit matches naive scan" ~count:2000
+    QCheck.(pair (string_of_size (Gen.return 8)) (string_of_size (Gen.return 8)))
+    (fun (a, b) -> Key.first_diff_bit a b = naive_first_diff a b)
+
+let prop_diff_orders =
+  (* If a < b then at the first differing bit, a has 0 and b has 1. *)
+  QCheck.Test.make ~name:"first differing bit orders keys" ~count:2000
+    QCheck.(pair (string_of_size (Gen.return 6)) (string_of_size (Gen.return 6)))
+    (fun (a, b) ->
+      match Key.first_diff_bit a b with
+      | None -> a = b
+      | Some i ->
+        if String.compare a b < 0 then Key.bit a i = 0 && Key.bit b i = 1
+        else Key.bit a i = 1 && Key.bit b i = 0)
+
+(* --- RNG ----------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.next_int a) (Rng.next_int b)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of bounds"
+  done
+
+let test_rng_uniformish () =
+  let rng = Rng.create 11 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Rng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let f = float_of_int c /. float_of_int n in
+      if f < 0.08 || f > 0.12 then Alcotest.failf "bucket fraction %f" f)
+    buckets
+
+(* --- Zipf ----------------------------------------------------------- *)
+
+let test_zipf_skew () =
+  let rng = Rng.create 5 in
+  let z = Zipf.create 1000 in
+  let counts = Array.make 1000 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let r = Zipf.next z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  (* Rank 0 must dominate and roughly follow 1/k^0.99. *)
+  check Alcotest.bool "rank 0 most popular" true
+    (counts.(0) > counts.(1) && counts.(1) > counts.(10));
+  let f0 = float_of_int counts.(0) /. float_of_int n in
+  if f0 < 0.05 || f0 > 0.25 then Alcotest.failf "rank-0 fraction %f" f0
+
+let test_zipf_bounds () =
+  let rng = Rng.create 9 in
+  let z = Zipf.create ~scramble:true 100 in
+  for _ = 1 to 10_000 do
+    let r = Zipf.next z rng in
+    if r < 0 || r >= 100 then Alcotest.fail "zipf out of bounds"
+  done
+
+let test_latest () =
+  let rng = Rng.create 13 in
+  let z = Zipf.create 1_000 in
+  let hits_recent = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    let r = Zipf.next_latest z rng ~max_item:499 in
+    if r < 0 || r > 499 then Alcotest.fail "latest out of bounds";
+    if r > 449 then incr hits_recent
+  done;
+  (* The newest 10% of items should receive the majority of accesses. *)
+  check Alcotest.bool "latest skews recent" true (!hits_recent > n / 2)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ei_util"
+    [
+      ( "key",
+        [
+          Alcotest.test_case "int roundtrip" `Quick test_int_roundtrip;
+          Alcotest.test_case "int order" `Quick test_int_order;
+          Alcotest.test_case "pair order" `Quick test_pair_order;
+          Alcotest.test_case "bit access" `Quick test_bit;
+          qt prop_first_diff;
+          qt prop_diff_orders;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "uniform-ish" `Quick test_rng_uniformish;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "bounds" `Quick test_zipf_bounds;
+          Alcotest.test_case "latest" `Quick test_latest;
+        ] );
+    ]
