@@ -5,11 +5,14 @@
      trace  — ingest a synthetic IOTTA-like log trace through the
               MCAS-like store and query it
      volumes — print the Fig-1 style daily-volume model
+     check  — churn an index with random mutations and run the deep
+              invariant sanitizer ({!Ei_check.Check}) over it
 
    Examples:
      ei ycsb --index elastic --workload E --records 50000 --ops 100000
      ei trace --index elastic50 --rows 200000
-     ei volumes --days 90 *)
+     ei volumes --days 90
+     ei check --index elastic40 --ops 200000 --strict *)
 
 open Cmdliner
 
@@ -17,6 +20,7 @@ module Table = Ei_storage.Table
 module Registry = Ei_harness.Registry
 module Index_ops = Ei_harness.Index_ops
 module Ycsb = Ei_workload.Ycsb
+module Check = Ei_check.Check
 module Iotta = Ei_workload.Iotta
 module Clock = Ei_util.Bench_clock
 
@@ -163,6 +167,82 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Ingest a synthetic object-store log trace via the MCAS-like store.")
     term
 
+(* --- check ------------------------------------------------------------- *)
+
+let check_cmd =
+  let records_arg =
+    Arg.(value & opt int 20_000 & info [ "records" ] ~doc:"Records to load before churning.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 100_000 & info [ "ops" ] ~doc:"Random mutations to drive after the load.")
+  in
+  let every_arg =
+    Arg.(value & opt int 10_000 & info [ "every" ] ~doc:"Mutations between periodic deep checks.")
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Treat lazily-enforced compact-occupancy advisories as errors.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed for the churn workload.")
+  in
+  let run index_name records ops every strict seed =
+    match kind_of_name ~approx_items:records ~key_len:8 index_name with
+    | Error (`Msg m) -> prerr_endline m; exit 2
+    | Ok kind ->
+      let table = Table.create ~key_len:8 () in
+      let index = Registry.make ~key_len:8 ~load:(Table.loader table) kind in
+      let periodic = ref 0 in
+      let bad = ref 0 in
+      let on_report r =
+        incr periodic;
+        if not (Check.ok r) then begin
+          incr bad;
+          Format.printf "%a@." Check.pp_report r
+        end
+      in
+      let wrapped = Check.wrap ~strict ~every:(max 1 every) ~on_report index in
+      let rng = Ei_util.Rng.create seed in
+      let pool =
+        Array.init (max 16 records) (fun _ -> Ei_util.Key.random rng 8)
+      in
+      let tid_of = Ei_util.Strtbl.create 1024 in
+      let tid_for k =
+        match Ei_util.Strtbl.find_opt tid_of k with
+        | Some tid -> tid
+        | None ->
+          let tid = Table.append table k in
+          Ei_util.Strtbl.add tid_of k tid;
+          tid
+      in
+      Array.iter (fun k -> ignore (wrapped.Index_ops.insert k (tid_for k))) pool;
+      (* Mixed churn over a bounded key pool: inserts and removes fight
+         so an elastic index crosses its size bound in both directions. *)
+      for _ = 1 to ops do
+        let k = pool.(Ei_util.Rng.int rng (Array.length pool)) in
+        let c = Ei_util.Rng.int rng 100 in
+        if c < 45 then ignore (wrapped.Index_ops.insert k (tid_for k))
+        else if c < 80 then ignore (wrapped.Index_ops.remove k)
+        else if c < 95 then ignore (wrapped.Index_ops.update k (tid_for k))
+        else ignore (wrapped.Index_ops.scan_keys k 16 (fun _ -> ()))
+      done;
+      let final = Check.run ~strict index in
+      Format.printf "%a@." Check.pp_report final;
+      Format.printf "ei check: %s — %d periodic checks (%d with errors), final %s %s@."
+        index.Index_ops.name !periodic !bad
+        (if Check.ok final then "clean" else "CORRUPT")
+        (index.Index_ops.info ());
+      if !bad > 0 || not (Check.ok final) then exit 1
+  in
+  let term =
+    Term.(const run $ index_arg $ records_arg $ ops_arg $ every_arg $ strict_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Churn an index with random mutations and run the deep invariant sanitizer.")
+    term
+
 (* --- volumes ----------------------------------------------------------- *)
 
 let volumes_cmd =
@@ -181,4 +261,4 @@ let () =
     Cmd.info "ei" ~version:"1.0.0"
       ~doc:"Elastic indexes: dynamic space vs. query efficiency tuning."
   in
-  exit (Cmd.eval (Cmd.group info [ ycsb_cmd; trace_cmd; volumes_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ ycsb_cmd; trace_cmd; volumes_cmd; check_cmd ]))

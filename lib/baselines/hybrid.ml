@@ -15,6 +15,7 @@
    ones — an update stream against old entries makes the dynamic stage
    balloon with shadows and forces frequent full merges. *)
 
+module Strtbl = Ei_util.Strtbl
 module Key = Ei_util.Key
 module Btree = Ei_btree.Btree
 module Memmodel = Ei_storage.Memmodel
@@ -32,7 +33,7 @@ type t = {
   mutable static_keys : string array;
   mutable static_tids : int array;
   mutable static_n : int;
-  tombstones : (string, unit) Hashtbl.t;
+  tombstones : unit Strtbl.t;
   mutable shadows : int;  (* keys present in both stages (dynamic wins) *)
   stats : stats;
 }
@@ -46,21 +47,23 @@ let create ?(merge_ratio = 0.1) ~key_len ~load () =
     static_keys = [||];
     static_tids = [||];
     static_n = 0;
-    tombstones = Hashtbl.create 64;
+    tombstones = Strtbl.create 64;
     shadows = 0;
     stats = { merges = 0; merge_work = 0 };
   }
 
 let stats t = t.stats
 
+let key_len (t : t) = t.key_len
+
 let count t =
-  Btree.count t.dynamic + t.static_n - Hashtbl.length t.tombstones - t.shadows
+  Btree.count t.dynamic + t.static_n - Strtbl.length t.tombstones - t.shadows
 
 let memory_bytes t =
   Btree.memory_bytes t.dynamic
   + Memmodel.node_header
   + (t.static_n * (t.key_len + Memmodel.word))
-  + (Hashtbl.length t.tombstones * (t.key_len + Memmodel.word))
+  + (Strtbl.length t.tombstones * (t.key_len + Memmodel.word))
 
 (* Binary search in the static stage: position of the first key >= k. *)
 let static_lower_bound t key =
@@ -80,7 +83,7 @@ let find t key =
   match Btree.find t.dynamic key with
   | Some tid -> Some tid
   | None ->
-    if Hashtbl.mem t.tombstones key then None else static_find t key
+    if Strtbl.mem t.tombstones key then None else static_find t key
 
 let mem t key = Option.is_some (find t key)
 
@@ -108,7 +111,7 @@ let merge t =
       && (not (stop t.static_keys.(!si)))
     do
       let k = t.static_keys.(!si) in
-      if not (Hashtbl.mem t.tombstones k) then put k t.static_tids.(!si);
+      if not (Strtbl.mem t.tombstones k) then put k t.static_tids.(!si);
       incr si
     done
   in
@@ -123,7 +126,7 @@ let merge t =
   t.static_tids <- Array.sub tids 0 !out;
   t.static_n <- !out;
   t.stats.merge_work <- t.stats.merge_work + !out;
-  Hashtbl.reset t.tombstones;
+  Strtbl.reset t.tombstones;
   t.shadows <- 0;
   (* The dynamic stage starts over. *)
   t.dynamic <-
@@ -131,20 +134,22 @@ let merge t =
 
 let maybe_merge t =
   if
-    float_of_int (Btree.count t.dynamic)
-    > t.merge_ratio *. float_of_int (max 64 t.static_n)
+    Float.compare
+      (float_of_int (Btree.count t.dynamic))
+      (t.merge_ratio *. float_of_int (max 64 t.static_n))
+    > 0
   then merge t
 
 let insert t key tid =
   assert (String.length key = t.key_len);
-  if Btree.find t.dynamic key <> None then false
-  else if (not (Hashtbl.mem t.tombstones key)) && static_find t key <> None then
+  if Option.is_some (Btree.find t.dynamic key) then false
+  else if (not (Strtbl.mem t.tombstones key)) && Option.is_some (static_find t key) then
     false
   else begin
-    if Hashtbl.mem t.tombstones key then begin
+    if Strtbl.mem t.tombstones key then begin
       (* A tombstoned static entry is resurrected through the dynamic
          stage, shadowing the stale static entry. *)
-      Hashtbl.remove t.tombstones key;
+      Strtbl.remove t.tombstones key;
       t.shadows <- t.shadows + 1
     end;
     let inserted = Btree.insert t.dynamic key tid in
@@ -156,22 +161,22 @@ let insert t key tid =
 let remove t key =
   if Btree.remove t.dynamic key then begin
     (* The key may also have a stale static entry it was shadowing. *)
-    if static_find t key <> None then begin
-      Hashtbl.replace t.tombstones key ();
+    if Option.is_some (static_find t key) then begin
+      Strtbl.replace t.tombstones key ();
       t.shadows <- t.shadows - 1
     end;
     true
   end
-  else if (not (Hashtbl.mem t.tombstones key)) && static_find t key <> None
+  else if (not (Strtbl.mem t.tombstones key)) && Option.is_some (static_find t key)
   then begin
-    Hashtbl.replace t.tombstones key ();
+    Strtbl.replace t.tombstones key ();
     true
   end
   else false
 
 let update t key tid =
   if Btree.update t.dynamic key tid then true
-  else if (not (Hashtbl.mem t.tombstones key)) && static_find t key <> None
+  else if (not (Strtbl.mem t.tombstones key)) && Option.is_some (static_find t key)
   then begin
     (* Static entries are immutable: shadow through the dynamic stage —
        the skew-assumption cost when updates hit old entries. *)
@@ -189,13 +194,13 @@ let fold_range t ~start ~n f acc =
     List.rev
       (Btree.fold_range t.dynamic ~start ~n (fun acc k v -> (k, v) :: acc) [])
   in
-  let rec go dyn si taken acc =
+  let rec go dyn si (taken : int) acc =
     if taken >= n then acc
     else
       let static_entry =
         if si < t.static_n then
           let k = t.static_keys.(si) in
-          if Hashtbl.mem t.tombstones k then `Skip else `Entry (k, t.static_tids.(si))
+          if Strtbl.mem t.tombstones k then `Skip else `Entry (k, t.static_tids.(si))
         else `End
       in
       match (dyn, static_entry) with
@@ -221,16 +226,16 @@ let check_invariants t =
   (* Recount shadows. *)
   let shadows = ref 0 in
   Btree.iter t.dynamic (fun k _ ->
-      if static_find t k <> None then begin
+      if Option.is_some (static_find t k) then begin
         incr shadows;
-        assert (not (Hashtbl.mem t.tombstones k))
+        assert (not (Strtbl.mem t.tombstones k))
       end);
   assert (!shadows = t.shadows);
   for i = 0 to t.static_n - 2 do
     assert (Key.compare t.static_keys.(i) t.static_keys.(i + 1) < 0)
   done;
   (* Tombstones refer to static entries only. *)
-  Hashtbl.iter
+  Strtbl.iter
     (fun k () ->
-      assert (static_find t k <> None))
+      assert (Option.is_some (static_find t k)))
     t.tombstones

@@ -25,6 +25,7 @@ val fold_range : t -> start:string -> n:int -> ('a -> string -> int -> 'a) -> 'a
 val iter : t -> (string -> int -> unit) -> unit
 
 val count : t -> int
+val key_len : t -> int
 val memory_bytes : t -> int
 val stats : t -> stats
 

@@ -19,6 +19,7 @@
    every skipped byte, hence on every byte before the node's position). *)
 
 module Key = Ei_util.Key
+module Invariant = Ei_util.Invariant
 module Memmodel = Ei_storage.Memmodel
 
 type node =
@@ -47,6 +48,8 @@ let create ?(store_keys = false) ~key_len ~load () =
   { key_len; store_keys; load; root = Empty; items = 0; node_count = 0; key_loads = 0 }
 
 let count t = t.items
+
+let key_len (t : t) = t.key_len
 let key_loads t = t.key_loads
 
 let key_of_leaf t ~tid ~key =
@@ -195,18 +198,21 @@ let insert t key tid =
          agree with [key] (and the candidate) on bytes before d. *)
       let rec place parent_set node =
         match node with
-        | Empty -> assert false
+        | Empty -> Invariant.impossible "Radix.place: empty node on insert path"
         | Leaf _ -> splice parent_set node
         | Inner nd ->
           if nd.pos < d then begin
             match locate_child nd (byte_at key nd.pos) with
             | `Exact i ->
               place (fun child -> nd.children.(i) <- child) nd.children.(i)
-            | `Insert_at _ -> assert false
+            | `Insert_at _ ->
+              Invariant.impossible "Radix.place: missing child below diff byte"
           end
           else if nd.pos = d then begin
             match locate_child nd (byte_at key d) with
-            | `Exact _ -> assert false (* would contradict d *)
+            | `Exact _ ->
+              (* An exact child here would contradict the diff byte d. *)
+              Invariant.impossible "Radix.place: exact child at diff byte"
             | `Insert_at i -> add_child nd i (byte_at key d) (mk_leaf t tid key)
           end
           else splice parent_set node
@@ -362,7 +368,7 @@ let check_invariants t =
     | Leaf { tid; key } ->
       incr items;
       if t.store_keys then assert (String.length key = t.key_len)
-      else assert (key = "");
+      else assert (String.equal key "");
       ignore tid
     | Inner nd ->
       assert (nd.n >= 2);
@@ -376,7 +382,7 @@ let check_invariants t =
         | Some (ltid, lkey) ->
           let k = key_of_leaf t ~tid:ltid ~key:lkey in
           assert (byte_at k nd.pos = Char.code (Bytes.get nd.bytes i))
-        | None -> assert false);
+        | None -> Invariant.broken "Radix: inner node with an empty child");
         go nd.children.(i) ~min_pos:(nd.pos + 1)
       done
   in

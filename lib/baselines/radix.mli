@@ -14,6 +14,7 @@ val create :
   ?store_keys:bool -> key_len:int -> load:(int -> string) -> unit -> t
 
 val count : t -> int
+val key_len : t -> int
 
 val key_loads : t -> int
 (** Number of indirect key loads performed (indirect mode). *)

@@ -37,6 +37,26 @@ let create ?(seed = 42) ~key_len () =
 
 let count t = t.items
 let memory_bytes t = t.node_bytes
+let level t = t.level
+let key_len t = t.key_len
+
+(* Introspection for the deep sanitizer ({!Ei_check}): walk the towers
+   and per-level chains without exposing the node type. *)
+let fold_towers t f acc =
+  let rec go acc = function
+    | Some nd -> go (f acc nd.key nd.tid (Array.length nd.forward)) nd.forward.(0)
+    | None -> acc
+  in
+  go acc t.head.forward.(0)
+
+let fold_level t lvl f acc =
+  assert (lvl >= 0 && lvl < max_level);
+  let rec go acc = function
+    | Some nd ->
+      go (f acc nd.key (Array.length nd.forward)) nd.forward.(lvl)
+    | None -> acc
+  in
+  go acc t.head.forward.(lvl)
 
 let random_height t =
   let rec go h = if h < max_level && Ei_util.Rng.bool t.rng then go (h + 1) else h in
@@ -110,7 +130,7 @@ let remove t key =
       | Some _ | None -> ()
     done;
     (* Shrink the list level if upper levels emptied. *)
-    while t.level > 1 && t.head.forward.(t.level - 1) = None do
+    while t.level > 1 && Option.is_none t.head.forward.(t.level - 1) do
       t.level <- t.level - 1
     done;
     t.items <- t.items - 1;

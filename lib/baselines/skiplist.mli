@@ -9,6 +9,22 @@ val create : ?seed:int -> key_len:int -> unit -> t
 val count : t -> int
 val memory_bytes : t -> int
 
+val key_len : t -> int
+
+val level : t -> int
+(** Current list level: the height of the tallest live tower. *)
+
+val max_level : int
+(** Tower height cap (24). *)
+
+val fold_towers : t -> ('a -> string -> int -> int -> 'a) -> 'a -> 'a
+(** [fold_towers t f acc] folds [f acc key tid height] over all nodes in
+    key order along level 0.  Sanitizer support ({!Ei_check}). *)
+
+val fold_level : t -> int -> ('a -> string -> int -> 'a) -> 'a -> 'a
+(** [fold_level t lvl f acc] folds [f acc key height] over the nodes
+    linked at level [lvl] in key order. *)
+
 val insert : t -> string -> int -> bool
 val remove : t -> string -> bool
 val update : t -> string -> int -> bool

@@ -33,14 +33,14 @@ let set t i v =
 
 (* Shift entries [i, count) one slot right and write [v] at [i].
    Requires room for [count + 1] entries. *)
-let insert t ~count i v =
+let insert t ~count (i : int) v =
   assert (i >= 0 && i <= count);
   assert ((count + 1) * t.width <= Bytes.length t.data);
   Bytes.blit t.data (i * t.width) t.data ((i + 1) * t.width) ((count - i) * t.width);
   set t i v
 
 (* Remove entry [i], shifting entries [i+1, count) one slot left. *)
-let remove t ~count i =
+let remove t ~count (i : int) =
   assert (i >= 0 && i < count);
   Bytes.blit t.data ((i + 1) * t.width) t.data (i * t.width) ((count - i - 1) * t.width)
 

@@ -57,6 +57,19 @@ let tid_at t i =
   assert (i >= 0 && i < t.n);
   t.tids.(i)
 
+let breathing t = t.breathing
+let tid_slots t = Array.length t.tids
+
+(* Introspection for the deep sanitizer ({!Ei_check}): raw BlindiBits
+   entries, BlindiTree slots, and the absent-marker. *)
+let bit_at t i =
+  assert (i >= 0 && i < t.n - 1);
+  Bitsarr.get t.bits i
+
+let tree_slot_count t = Array.length t.tree
+let tree_slot t i = t.tree.(i)
+let absent_slot = et
+
 let memory_bytes t =
   Ei_storage.Memmodel.seqtree_bytes ~capacity:t.capacity ~key_len:t.key_len
     ~levels:t.levels ~tid_slots:(Array.length t.tids)
@@ -86,7 +99,7 @@ let rebuild_tree t =
   let size = tree_size t.levels in
   let tree = t.tree in
   Array.fill tree 0 (Array.length tree) et;
-  let rec fill p lo hi =
+  let rec fill p (lo : int) hi =
     if p < size && lo <= hi then begin
       let m = min_entry_index t lo hi in
       tree.(p) <- m;
@@ -250,7 +263,7 @@ let fill_subtree t p lo hi =
       clear ((2 * p) + 2)
     end
   in
-  let rec fill p lo hi =
+  let rec fill p (lo : int) hi =
     if p < size && lo <= hi then begin
       let m = min_entry_index t lo hi in
       t.tree.(p) <- m;
@@ -421,7 +434,7 @@ let remove t ~(load : load) key =
 
 (* Build from tids whose keys are strictly increasing.  [keys] must be the
    corresponding key array (used only during construction; not stored). *)
-let of_sorted ~key_len ~capacity ~levels ~breathing keys tids n =
+let of_sorted ~key_len ~capacity ~levels ~breathing keys tids (n : int) =
   assert (n <= capacity);
   let t = create ~key_len ~capacity ~levels ~breathing () in
   t.tids <- Array.make (tid_slots_for ~capacity ~breathing n) 0;
@@ -523,7 +536,7 @@ let check_invariants t ~load =
   done;
   (* BlindiTree entries are range minima of their in-order segments. *)
   let size = tree_size t.levels in
-  let rec check p lo hi =
+  let rec check p (lo : int) hi =
     if p < size then
       if lo > hi then begin
         assert (t.tree.(p) = et);

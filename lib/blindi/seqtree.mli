@@ -30,6 +30,27 @@ val levels : t -> int
 val is_full : t -> bool
 val tid_at : t -> int -> int
 
+val breathing : t -> int
+(** The breathing slack the node was created with (0 = disabled). *)
+
+val tid_slots : t -> int
+(** Allocated tuple-id slots; under breathing this tracks occupancy
+    plus slack ({!breathing}), otherwise it equals {!capacity}. *)
+
+val bit_at : t -> int -> int
+(** [bit_at t i] is BlindiBits entry [i] (0 <= i < count - 1): the first
+    bit position where key [i] and key [i+1] differ.  Sanitizer support:
+    {!Ei_check} recomputes these from loaded keys. *)
+
+val tree_slot_count : t -> int
+(** Number of BlindiTree slots ([2^levels - 1], at least 1). *)
+
+val tree_slot : t -> int -> int
+(** Raw BlindiTree entry: an index into BlindiBits, or {!absent_slot}. *)
+
+val absent_slot : int
+(** The ET marker stored in empty BlindiTree slots. *)
+
 val memory_bytes : t -> int
 (** Node size under the explicit memory model. *)
 

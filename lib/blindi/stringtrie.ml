@@ -129,7 +129,7 @@ let update t ~(load : load) key tid =
 
 (* Shift leaf references at or above [pos] by [delta] (key positions
    slide when a tid is inserted/removed). *)
-let shift_leaf_refs t pos delta =
+let shift_leaf_refs t (pos : int) delta =
   for i = 0 to t.n - 2 do
     if (not (is_node t t.left.(i))) && t.left.(i) >= pos then
       t.left.(i) <- t.left.(i) + delta;
@@ -271,7 +271,7 @@ let remove t ~(load : load) key =
 (* ------------------------------------------------------------------ *)
 (* Bulk construction, split, merge, iteration.                         *)
 
-let of_sorted ~key_len ~capacity keys tids n =
+let of_sorted ~key_len ~capacity keys tids (n : int) =
   assert (n <= capacity);
   let t = create ~key_len ~capacity () in
   (* Insert in order; splices are O(depth) each. *)
@@ -283,7 +283,8 @@ let of_sorted ~key_len ~capacity keys tids n =
         (i + 1_000_000)
     with
     | Inserted -> ()
-    | Full | Duplicate -> assert false
+    | Full | Duplicate ->
+      Ei_util.Invariant.impossible "Stringtrie.of_sorted: bulk insert rejected"
   done;
   (* Replace the construction tids with the real ones. *)
   for i = 0 to n - 1 do

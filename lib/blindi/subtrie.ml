@@ -54,7 +54,7 @@ let memory_bytes t =
 let rebuild_from_inorder t inorder n =
   t.n <- n;
   let pos = ref 0 in
-  let rec emit lo hi =
+  let rec emit (lo : int) hi =
     if lo <= hi then begin
       let m = ref lo in
       for i = lo + 1 to hi do
@@ -74,7 +74,7 @@ let rebuild_from_inorder t inorder n =
 (* Reconstruct in-order bits from the preorder arrays (O(n)). *)
 let to_inorder t =
   let out = Array.make (max 0 (t.n - 1)) 0 in
-  let rec walk p klo khi =
+  let rec walk p (klo : int) khi =
     (* Subtree rooted at preorder index [p] covering keys [klo, khi]. *)
     if khi > klo then begin
       let l = Bitsarr.get t.sizes p in
@@ -93,7 +93,7 @@ let key_bit key b = Ei_util.Key.bit key b
 
 (* Descend assuming the key is present; returns its assumed position. *)
 let assumed_position t key =
-  let rec go p klo khi =
+  let rec go p (klo : int) khi =
     if klo = khi then klo
     else begin
       Stats.global.tree_steps <- Stats.global.tree_steps + 1;
@@ -111,7 +111,7 @@ let assumed_position t key =
    larger than every key sharing the prefix, so its predecessor is the
    subtree maximum; otherwise its successor is the subtree minimum. *)
 let fixup_position t key bd go_right =
-  let rec go p klo khi =
+  let rec go p (klo : int) khi =
     if klo = khi then klo
     else begin
       let b = Bitsarr.get t.bits p in
@@ -225,7 +225,7 @@ let remove t ~(load : load) key =
 (* ------------------------------------------------------------------ *)
 (* Bulk construction, split, iteration.                                *)
 
-let of_sorted ~key_len ~capacity keys tids n =
+let of_sorted ~key_len ~capacity keys tids (n : int) =
   assert (n <= capacity);
   let t = create ~key_len ~capacity () in
   Array.blit tids 0 t.tids 0 n;

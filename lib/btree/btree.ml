@@ -12,6 +12,7 @@
    the explicit memory model so policies can consult it in O(1). *)
 
 module Key = Ei_util.Key
+module Invariant = Ei_util.Invariant
 module Tracker = Ei_storage.Tracker
 module Memmodel = Ei_storage.Memmodel
 
@@ -84,6 +85,9 @@ let create ?(leaf_capacity = 16) ?(inner_capacity = 16) ~key_len ~load
   t
 
 let count t = t.items
+
+let key_len (t : t) = t.key_len
+let std_capacity t = t.std_capacity
 let memory_bytes t = Tracker.bytes t.tracker
 let high_water_bytes t = Tracker.high_water t.tracker
 let compact_leaves t = t.compact_leaves
@@ -97,7 +101,7 @@ let view t : Policy.view =
 (* ------------------------------------------------------------------ *)
 (* Accounting helpers.                                                 *)
 
-let account_delta t before after =
+let account_delta t (before : int) after =
   if after >= before then Tracker.add t.tracker (after - before)
   else Tracker.sub t.tracker (before - after)
 
@@ -294,9 +298,9 @@ let rec insert_into_leaf t ?(pending = []) leaf key tid =
   match mutate_leaf t leaf (fun () -> Leaf.insert leaf ~load:t.load key tid) with
   | Leaf.Inserted ->
     t.items <- t.items + 1;
-    if pending = [] then Done else Split_up (List.rev pending)
+    (match pending with [] -> Done | _ :: _ -> Split_up (List.rev pending))
   | Leaf.Duplicate ->
-    assert (pending = []);
+    assert (match pending with [] -> true | _ :: _ -> false);
     Dup
   | Leaf.Full -> (
     match t.policy.Policy.on_overflow (view t) ~current:(Leaf.spec leaf) with
@@ -488,10 +492,11 @@ let shift_entry t ~src ~dst ~from_end =
   let key, tid = Leaf.entry_at src ~load:t.load pos in
   (match mutate_leaf t src (fun () -> Leaf.remove src ~load:t.load key) with
   | Leaf.Removed -> ()
-  | Leaf.Not_present -> assert false);
+  | Leaf.Not_present -> Invariant.impossible "Btree.shift_entry: source entry vanished");
   (match mutate_leaf t dst (fun () -> Leaf.insert dst ~load:t.load key tid) with
   | Leaf.Inserted -> ()
-  | Leaf.Duplicate | Leaf.Full -> assert false)
+  | Leaf.Duplicate | Leaf.Full ->
+    Invariant.impossible "Btree.shift_entry: destination rejected the entry")
 
 (* Merge leaf children [i] and [i + 1] of inner node [nd]. *)
 let merge_leaf_children t nd i left right =
@@ -540,10 +545,14 @@ let merge_leaf_children t nd i left right =
 let fix_leaf_child t nd i =
   let li = if i > 0 then i - 1 else i in
   let left =
-    match nd.children.(li) with Leaf_node l -> l | Inner _ -> assert false
+    match nd.children.(li) with
+    | Leaf_node l -> l
+    | Inner _ -> Invariant.impossible "Btree.fix_leaf_child: left sibling is inner"
   in
   let right =
-    match nd.children.(li + 1) with Leaf_node l -> l | Inner _ -> assert false
+    match nd.children.(li + 1) with
+    | Leaf_node l -> l
+    | Inner _ -> Invariant.impossible "Btree.fix_leaf_child: right sibling is inner"
   in
   let sibling = if i > 0 then left else right in
   if leaf_can_spare t sibling then begin
@@ -558,10 +567,14 @@ let fix_leaf_child t nd i =
 let fix_inner_child t nd i (child : inner) =
   let li = if i > 0 then i - 1 else i in
   let left =
-    match nd.children.(li) with Inner x -> x | Leaf_node _ -> assert false
+    match nd.children.(li) with
+    | Inner x -> x
+    | Leaf_node _ -> Invariant.impossible "Btree.fix_inner_child: left sibling is a leaf"
   in
   let right =
-    match nd.children.(li + 1) with Inner x -> x | Leaf_node _ -> assert false
+    match nd.children.(li + 1) with
+    | Inner x -> x
+    | Leaf_node _ -> Invariant.impossible "Btree.fix_inner_child: right sibling is a leaf"
   in
   ignore child;
   if i > 0 && left.n > inner_min t then begin
@@ -721,9 +734,86 @@ let of_sorted ?(leaf_capacity = 16) ?(inner_capacity = 16) ~key_len ~load
   end
 
 (* ------------------------------------------------------------------ *)
+(* Introspection (sanitizer support).                                  *)
+
+type introspection = {
+  leaves : Leaf.t array;
+  leaf_depths : int array;
+  leaf_bounds : (string option * string option) array;
+  chain : Leaf.t array;
+  inner_fanouts : int array;
+  inner_is_root : bool array;
+  inner_seps : string array array;
+  inner_node_bytes : int;
+  inner_capacity : int;
+  i_std_capacity : int;
+  key_len : int;
+  tracked_bytes : int;
+  items : int;
+  compact_count : int;
+  load : int -> string;
+}
+
+(* Snapshot the structure for an external validator: leaves with their
+   separator-derived bounds and depths (by tree walk), the leaf chain
+   (by [next] pointers), and per-inner-node fanouts/separators.  The
+   validator cross-checks the two leaf orders and the O(1) counters
+   without access to the node types. *)
+let introspect t =
+  let leaves = ref [] and depths = ref [] and bounds = ref [] in
+  let fanouts = ref [] and roots = ref [] and seps = ref [] in
+  let rec walk node ~lo ~hi ~depth ~is_root =
+    match node with
+    | Leaf_node leaf ->
+      leaves := leaf :: !leaves;
+      depths := depth :: !depths;
+      bounds := (lo, hi) :: !bounds
+    | Inner nd ->
+      fanouts := nd.n :: !fanouts;
+      roots := is_root :: !roots;
+      seps := Array.sub nd.keys 0 (max 0 nd.n) :: !seps;
+      for i = 0 to nd.n do
+        let lo' = if i = 0 then lo else Some nd.keys.(i - 1) in
+        let hi' = if i = nd.n then hi else Some nd.keys.(i) in
+        walk nd.children.(i) ~lo:lo' ~hi:hi' ~depth:(depth + 1) ~is_root:false
+      done
+  in
+  walk t.root ~lo:None ~hi:None ~depth:0 ~is_root:true;
+  let chain = ref [] in
+  let rec leftmost = function
+    | Leaf_node leaf -> leaf
+    | Inner nd -> leftmost nd.children.(0)
+  in
+  let rec follow = function
+    | None -> ()
+    | Some leaf ->
+      chain := leaf :: !chain;
+      follow leaf.Leaf.next
+  in
+  follow (Some (leftmost t.root));
+  let rev_array l = Array.of_list (List.rev l) in
+  {
+    leaves = rev_array !leaves;
+    leaf_depths = rev_array !depths;
+    leaf_bounds = rev_array !bounds;
+    chain = rev_array !chain;
+    inner_fanouts = rev_array !fanouts;
+    inner_is_root = rev_array !roots;
+    inner_seps = rev_array !seps;
+    inner_node_bytes = inner_bytes t;
+    inner_capacity = t.inner_capacity;
+    i_std_capacity = t.std_capacity;
+    key_len = t.key_len;
+    tracked_bytes = Tracker.bytes t.tracker;
+    items = t.items;
+    compact_count = t.compact_leaves;
+    load = t.load;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Invariant checking (test support).                                  *)
 
-let check_invariants t =
+let check_invariants (t : t) =
   let leaves = ref [] in
   (* Depth uniformity, separator bounds, occupancy. *)
   let rec walk node ~lo ~hi ~is_root =
@@ -752,7 +842,7 @@ let check_invariants t =
         let d = walk nd.children.(i) ~lo:lo' ~hi:hi' ~is_root:false in
         match !depth with
         | None -> depth := Some d
-        | Some d0 -> assert (d = d0)
+        | Some d0 -> assert (Int.equal d d0)
       done;
       1 + Option.get !depth
   in
@@ -760,7 +850,7 @@ let check_invariants t =
   (* The leaf chain visits exactly the in-order leaves. *)
   let in_order = List.rev !leaves in
   (match in_order with
-  | [] -> assert false
+  | [] -> Invariant.impossible "Btree.check_invariants: tree with no leaves"
   | first :: _ ->
     let rec follow leaf expected =
       match (leaf.Leaf.next, expected) with
@@ -768,7 +858,8 @@ let check_invariants t =
       | Some nxt, e :: rest ->
         assert (nxt == e);
         follow nxt rest
-      | None, _ :: _ | Some _, [] -> assert false
+      | None, _ :: _ | Some _, [] ->
+        Invariant.broken "Btree: leaf chain diverges from in-order leaves"
     in
     follow first (List.tl in_order));
   (* Item count, compact count and tracked bytes match recomputation. *)

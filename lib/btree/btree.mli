@@ -80,6 +80,9 @@ val compact_cold : t -> batch:int -> spec:Policy.leaf_spec -> int
 val count : t -> int
 (** Number of stored keys. *)
 
+val key_len : t -> int
+(** Length in bytes of every key in the tree. *)
+
 val memory_bytes : t -> int
 (** Current index size under the memory model. *)
 
@@ -91,6 +94,32 @@ val compact_leaves : t -> int
 val stats : t -> stats
 val policy : t -> Policy.t
 val set_policy : t -> Policy.t -> unit
+
+val std_capacity : t -> int
+(** Standard-leaf capacity the tree was created with. *)
+
+(** Cheap structural snapshot for external validators ({!Ei_check}).
+    Leaf cells are the live mutable cells — treat them as read-only. *)
+type introspection = {
+  leaves : Leaf.t array;  (** leaves in key order, by tree walk *)
+  leaf_depths : int array;  (** root-to-leaf depth per leaf *)
+  leaf_bounds : (string option * string option) array;
+      (** separator-derived [lo <= keys < hi) bounds per leaf *)
+  chain : Leaf.t array;  (** leaves by [next] pointers from the leftmost *)
+  inner_fanouts : int array;  (** separator keys in use per inner node *)
+  inner_is_root : bool array;  (** aligned with [inner_fanouts] *)
+  inner_seps : string array array;  (** separator keys per inner node *)
+  inner_node_bytes : int;  (** memory-model bytes of one inner node *)
+  inner_capacity : int;
+  i_std_capacity : int;
+  key_len : int;
+  tracked_bytes : int;  (** the tracker's running total *)
+  items : int;  (** the O(1) item counter *)
+  compact_count : int;  (** the O(1) compact-leaf counter *)
+  load : int -> string;
+}
+
+val introspect : t -> introspection
 
 val check_invariants : t -> unit
 (** Assert structural invariants: uniform depth, separator ordering,

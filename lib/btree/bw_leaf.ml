@@ -14,6 +14,8 @@
    (scans, separators) merge the chain on the fly without mutating the
    node; splits and merges consolidate first. *)
 
+module Strtbl = Ei_util.Strtbl
+
 type delta = Dins of string * int | Ddel of string
 
 type t = {
@@ -73,23 +75,23 @@ let consolidate t =
     t.consolidations <- t.consolidations + 1;
     (* Oldest-first application; the newest decision per key wins, so
        apply newest-first with a "seen" set instead. *)
-    let seen = Hashtbl.create 16 in
-    let live = Hashtbl.create 16 in
+    let seen = Strtbl.create 16 in
+    let live = Strtbl.create 16 in
     List.iter
       (fun d ->
         let k = match d with Dins (k, _) -> k | Ddel k -> k in
-        if not (Hashtbl.mem seen k) then begin
-          Hashtbl.add seen k ();
+        if not (Strtbl.mem seen k) then begin
+          Strtbl.add seen k ();
           match d with
-          | Dins (_, tid) -> Hashtbl.add live k tid
+          | Dins (_, tid) -> Strtbl.add live k tid
           | Ddel _ -> ()
         end)
       t.deltas;
     let entries = ref [] in
     Std_leaf.fold_from t.base 0
-      (fun () k tid -> if not (Hashtbl.mem seen k) then entries := (k, tid) :: !entries)
+      (fun () k tid -> if not (Strtbl.mem seen k) then entries := (k, tid) :: !entries)
       ();
-    Hashtbl.iter (fun k tid -> entries := (k, tid) :: !entries) live;
+    Strtbl.iter (fun k tid -> entries := (k, tid) :: !entries) live;
     let arr = Array.of_list !entries in
     Array.sort (fun (a, _) (b, _) -> Ei_util.Key.compare a b) arr;
     let n = Array.length arr in
@@ -146,23 +148,23 @@ let merged t =
     Array.init (Std_leaf.count t.base) (fun i ->
         (Std_leaf.key_at t.base i, Std_leaf.tid_at t.base i))
   else begin
-    let seen = Hashtbl.create 16 in
-    let live = Hashtbl.create 16 in
+    let seen = Strtbl.create 16 in
+    let live = Strtbl.create 16 in
     List.iter
       (fun d ->
         let k = match d with Dins (k, _) -> k | Ddel k -> k in
-        if not (Hashtbl.mem seen k) then begin
-          Hashtbl.add seen k ();
+        if not (Strtbl.mem seen k) then begin
+          Strtbl.add seen k ();
           match d with
-          | Dins (_, tid) -> Hashtbl.add live k tid
+          | Dins (_, tid) -> Strtbl.add live k tid
           | Ddel _ -> ()
         end)
       t.deltas;
     let entries = ref [] in
     Std_leaf.fold_from t.base 0
-      (fun () k tid -> if not (Hashtbl.mem seen k) then entries := (k, tid) :: !entries)
+      (fun () k tid -> if not (Strtbl.mem seen k) then entries := (k, tid) :: !entries)
       ();
-    Hashtbl.iter (fun k tid -> entries := (k, tid) :: !entries) live;
+    Strtbl.iter (fun k tid -> entries := (k, tid) :: !entries) live;
     let arr = Array.of_list !entries in
     Array.sort (fun (a, _) (b, _) -> Ei_util.Key.compare a b) arr;
     arr
@@ -228,17 +230,17 @@ let check_invariants t =
     assert (Ei_util.Key.compare (fst m.(i)) (fst m.(i + 1)) < 0)
   done;
   (* Live count matches a from-scratch fold of the chain over the base. *)
-  let seen = Hashtbl.create 16 in
+  let seen = Strtbl.create 16 in
   let live = ref 0 in
   List.iter
     (fun d ->
       let k = match d with Dins (k, _) -> k | Ddel k -> k in
-      if not (Hashtbl.mem seen k) then begin
-        Hashtbl.add seen k ();
+      if not (Strtbl.mem seen k) then begin
+        Strtbl.add seen k ();
         match d with Dins _ -> incr live | Ddel _ -> ()
       end)
     t.deltas;
   Std_leaf.fold_from t.base 0
-    (fun () k _ -> if not (Hashtbl.mem seen k) then incr live)
+    (fun () k _ -> if not (Strtbl.mem seen k) then incr live)
     ();
   assert (!live = t.n)

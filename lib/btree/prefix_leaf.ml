@@ -93,7 +93,7 @@ let check_invariants t =
     let p = String.sub (Std_leaf.key_at t.std 0) 0 t.prefix_len in
     for i = 0 to n - 1 do
       assert (String.length (Std_leaf.key_at t.std i) >= t.prefix_len);
-      assert (String.sub (Std_leaf.key_at t.std i) 0 t.prefix_len = p)
+      assert (String.equal (String.sub (Std_leaf.key_at t.std i) 0 t.prefix_len) p)
     done;
     if n >= 2 then
       assert (

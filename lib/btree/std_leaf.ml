@@ -84,7 +84,7 @@ let remove t key =
     t.keys.(t.n) <- "";
     Removed
 
-let of_sorted ~key_len ~capacity keys tids n =
+let of_sorted ~key_len ~capacity keys tids (n : int) =
   assert (n <= capacity);
   let t = create ~key_len ~capacity () in
   Array.blit keys 0 t.keys 0 n;

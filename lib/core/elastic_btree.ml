@@ -34,7 +34,7 @@ let maybe_cold_sweep t =
     t.ops <- t.ops + 1;
     if
       t.ops mod p = 0
-      && Elasticity.state t.elasticity = Elasticity.Shrinking
+      && Elasticity.state_equal (Elasticity.state t.elasticity) Elasticity.Shrinking
       && Btree.memory_bytes t.tree
          >= int_of_float
               (t.config.Elasticity.shrink_fraction
@@ -73,6 +73,10 @@ let high_water_bytes t = Btree.high_water_bytes t.tree
 let compact_leaves t = Btree.compact_leaves t.tree
 let state t = Elasticity.state t.elasticity
 let transitions t = Elasticity.transitions t.elasticity
+let config t = t.config
+let std_capacity t = Btree.std_capacity t.tree
 let stats t = Btree.stats t.tree
 let tree t = t.tree
+
+let key_len t = Btree.key_len t.tree
 let check_invariants t = Btree.check_invariants t.tree

@@ -45,12 +45,20 @@ val fold_range : t -> start:string -> n:int -> ('a -> string -> int -> 'a) -> 'a
 val iter : t -> (string -> int -> unit) -> unit
 
 val count : t -> int
+val key_len : t -> int
 val memory_bytes : t -> int
 val high_water_bytes : t -> int
 val compact_leaves : t -> int
 val state : t -> Elasticity.state
 val transitions : t -> int
 val stats : t -> Ei_btree.Btree.stats
+
+val config : t -> Elasticity.config
+(** The elasticity configuration driving this tree (sanitizer support:
+    {!Ei_check} validates compact capacities against it). *)
+
+val std_capacity : t -> int
+(** Standard-leaf capacity of the underlying tree. *)
 
 val tree : t -> Ei_btree.Btree.t
 (** The underlying B+-tree (for inspection). *)

@@ -22,6 +22,7 @@
 
 module Key = Ei_util.Key
 module Rng = Ei_util.Rng
+module Invariant = Ei_util.Invariant
 module Seqtree = Ei_blindi.Seqtree
 module Memmodel = Ei_storage.Memmodel
 
@@ -80,8 +81,15 @@ let state_name = function
   | Shrinking -> "shrinking"
   | Expanding -> "expanding"
 
+(* Monomorphic equality: state tests sit on hot paths and must not go
+   through the polymorphic comparator (ei_lint poly-compare rule). *)
+let state_equal a b =
+  match (a, b) with
+  | Normal, Normal | Shrinking, Shrinking | Expanding, Expanding -> true
+  | (Normal | Shrinking | Expanding), _ -> false
+
 let create ~key_len ~load config () =
-  assert (config.expand_fraction < config.shrink_fraction);
+  assert (Float.compare config.expand_fraction config.shrink_fraction < 0);
   {
     key_len;
     config;
@@ -102,9 +110,27 @@ let create ~key_len ~load config () =
   }
 
 let count t = t.items
+
+let key_len (t : t) = t.key_len
 let memory_bytes t = t.bytes
 let segments t = t.segments
 let state t = t.state
+let config t = t.config
+let load t = t.load
+
+(* Walk the level-0 payloads in key order (sanitizer support). *)
+let fold_payloads t f acc =
+  let rec go acc = function
+    | Some node ->
+      let acc =
+        match node.payload with
+        | Single s -> f acc (`Single (s.key, s.tid))
+        | Segment seg -> f acc (`Segment seg)
+      in
+      go acc node.forward.(0)
+    | None -> acc
+  in
+  go acc t.head.forward.(0)
 let transitions t = t.transitions
 let conversions t = t.conversions
 
@@ -127,7 +153,7 @@ let track_sub t node =
 (* --- state machine ---------------------------------------------------- *)
 
 let set_state t s =
-  if t.state <> s then begin
+  if not (state_equal t.state s) then begin
     t.state <- s;
     t.transitions <- t.transitions + 1
   end
@@ -214,8 +240,9 @@ let rec find t key =
   (* Expansion: a search that lands in a segment may dissolve it. *)
   (match target with
   | Some ({ payload = Segment _; _ } as node)
-    when t.state = Expanding
-         && Rng.float t.rng < t.config.search_split_probability ->
+    when state_equal t.state Expanding
+         && Float.compare (Rng.float t.rng) t.config.search_split_probability
+            < 0 ->
     dissolve t node
   | Some _ | None -> ());
   result
@@ -232,7 +259,7 @@ and unlink t update node =
     | Some n when n == node -> update.(i).forward.(i) <- node.forward.(i)
     | Some _ | None -> ()
   done;
-  while t.level > 1 && t.head.forward.(t.level - 1) = None do
+  while t.level > 1 && Option.is_none t.head.forward.(t.level - 1) do
     t.level <- t.level - 1
   done;
   track_sub t node
@@ -308,7 +335,8 @@ let compact_run t update first =
         | Single s ->
           keys.(i) <- s.key;
           tids.(i) <- s.tid
-        | Segment _ -> assert false)
+        | Segment _ ->
+          Invariant.impossible "Elastic_skiplist: segment inside singleton run")
       run;
     (* Unlink the run back-to-front so [update] stays valid for each. *)
     List.iter (fun node -> unlink t update node) run;
@@ -329,17 +357,19 @@ let compact_run t update first =
    shrinking or splitting it otherwise. *)
 let insert_into_segment t node key tid =
   match node.payload with
-  | Single _ -> assert false
+  | Single _ -> Invariant.impossible "Elastic_skiplist.insert_into_segment: singleton node"
   | Segment seg ->
     if not (Seqtree.is_full seg) then begin
       let before = node_bytes t node in
       (match Seqtree.insert seg ~load:t.load key tid with
       | Seqtree.Inserted -> ()
-      | Seqtree.Full | Seqtree.Duplicate -> assert false);
+      | Seqtree.Full | Seqtree.Duplicate ->
+        Invariant.impossible "Elastic_skiplist: insert into non-full segment failed");
       t.bytes <- t.bytes + (node_bytes t node - before)
     end
     else if
-      t.state = Shrinking && Seqtree.capacity seg < t.config.max_segment_capacity
+      state_equal t.state Shrinking
+      && Seqtree.capacity seg < t.config.max_segment_capacity
     then begin
       (* Grow the segment instead of splitting: the §4 shrink rule. *)
       let before = node_bytes t node in
@@ -349,7 +379,8 @@ let insert_into_segment t node key tid =
       in
       (match Seqtree.insert grown ~load:t.load key tid with
       | Seqtree.Inserted -> ()
-      | Seqtree.Full | Seqtree.Duplicate -> assert false);
+      | Seqtree.Full | Seqtree.Duplicate ->
+        Invariant.impossible "Elastic_skiplist: insert into grown segment failed");
       node.payload <- Segment grown;
       t.bytes <- t.bytes + (node_bytes t node - before);
       t.conversions <- t.conversions + 1
@@ -365,7 +396,8 @@ let insert_into_segment t node key tid =
       in
       (match Seqtree.insert target ~load:t.load key tid with
       | Seqtree.Inserted -> ()
-      | Seqtree.Full | Seqtree.Duplicate -> assert false);
+      | Seqtree.Full | Seqtree.Duplicate ->
+        Invariant.impossible "Elastic_skiplist: insert into split half failed");
       node.payload <- Segment left;
       t.bytes <- t.bytes + (node_bytes t node - before);
       let rnode =
@@ -389,9 +421,9 @@ let insert t key tid =
     false)
   | `In_segment node -> (
     match node.payload with
-    | Single _ -> assert false
+    | Single _ -> Invariant.impossible "Elastic_skiplist: `In_segment points at singleton"
     | Segment seg ->
-      if Seqtree.find seg ~load:t.load key <> None then false
+      if Option.is_some (Seqtree.find seg ~load:t.load key) then false
       else begin
         insert_into_segment t node key tid;
         t.items <- t.items + 1;
@@ -410,7 +442,7 @@ let insert t key tid =
        (piggybacking on the insert, as §4 piggybacks on splits).  Only
        while the size still exceeds the shrink threshold, so the index
        stabilises just below it instead of over-compacting. *)
-    if t.state = Shrinking && t.bytes >= shrink_threshold t then
+    if state_equal t.state Shrinking && t.bytes >= shrink_threshold t then
       compact_run t update node;
     t.items <- t.items + 1;
     update_state t;
@@ -420,7 +452,7 @@ let insert t key tid =
 
 let remove_from_segment t update node key =
   match node.payload with
-  | Single _ -> assert false
+  | Single _ -> Invariant.impossible "Elastic_skiplist.remove_from_segment: singleton node"
   | Segment seg -> (
     let old_min = min_key t node in
     let before = node_bytes t node in
@@ -452,7 +484,7 @@ let remove_from_segment t update node key =
           t.bytes <- t.bytes + (node_bytes t node - before);
           t.conversions <- t.conversions + 1
         end
-        else if t.state <> Shrinking then dissolve t node
+        else if not (state_equal t.state Shrinking) then dissolve t node
       end;
       update_state t;
       true)
@@ -481,7 +513,8 @@ let update_value t key tid =
   | `At ({ payload = Segment seg; _ }) | `In_segment { payload = Segment seg; _ }
     ->
     Seqtree.update seg ~load:t.load key tid
-  | `In_segment { payload = Single _; _ } -> assert false
+  | `In_segment { payload = Single _; _ } ->
+    Invariant.impossible "Elastic_skiplist: `In_segment points at singleton node"
 
 (* --- iteration ------------------------------------------------------------------ *)
 

@@ -14,6 +14,9 @@ type state = Normal | Shrinking | Expanding
 
 val state_name : state -> string
 
+val state_equal : state -> state -> bool
+(** Monomorphic equality (hot-path state tests, ei_lint rule). *)
+
 type config = {
   size_bound : int;
   shrink_fraction : float;
@@ -40,6 +43,7 @@ val fold_range : t -> start:string -> n:int -> ('a -> string -> int -> 'a) -> 'a
 val iter : t -> (string -> int -> unit) -> unit
 
 val count : t -> int
+val key_len : t -> int
 val memory_bytes : t -> int
 val segments : t -> int
 (** Number of compact segment nodes. *)
@@ -47,5 +51,20 @@ val segments : t -> int
 val state : t -> state
 val transitions : t -> int
 val conversions : t -> int
+
+val config : t -> config
+(** The configuration driving this list (sanitizer support). *)
+
+val load : t -> int -> string
+(** The base-table load closure the list was created with. *)
+
+val fold_payloads :
+  t ->
+  ('a -> [ `Single of string * int | `Segment of Ei_blindi.Seqtree.t ] -> 'a) ->
+  'a ->
+  'a
+(** Fold over level-0 node payloads in key order: singleton entries and
+    compact segments.  Sanitizer support ({!Ei_check}) — treat segments
+    as read-only. *)
 
 val check_invariants : t -> unit

@@ -28,6 +28,13 @@ let state_name = function
   | Shrinking -> "shrinking"
   | Expanding -> "expanding"
 
+(* Monomorphic equality so state tests on hot paths never go through
+   the polymorphic comparator (ei_lint poly-compare rule). *)
+let state_equal a b =
+  match (a, b) with
+  | Normal, Normal | Shrinking, Shrinking | Expanding, Expanding -> true
+  | (Normal | Shrinking | Expanding), _ -> false
+
 type config = {
   size_bound : int;                 (* soft index size bound, bytes *)
   shrink_fraction : float;          (* enter shrinking at this * bound *)
@@ -68,7 +75,7 @@ type t = {
 
 let create ~std_capacity config =
   assert (config.size_bound > 0);
-  assert (config.expand_fraction < config.shrink_fraction);
+  assert (Float.compare config.expand_fraction config.shrink_fraction < 0);
   (* The first compact capacity must exceed the standard leaf's (§4 uses
      2n); lift it when the tree uses larger leaves than the default. *)
   let config =
@@ -99,7 +106,7 @@ let expand_at t =
   int_of_float (t.config.expand_fraction *. float_of_int t.config.size_bound)
 
 let set_state t s =
-  if t.state <> s then begin
+  if not (state_equal t.state s) then begin
     t.state <- s;
     t.transitions <- t.transitions + 1
   end
@@ -155,7 +162,9 @@ let on_search_compact t view ~current =
   update t view;
   match (t.state, current) with
   | Expanding, Policy.Spec_seq c
-    when Ei_util.Rng.float t.rng < t.config.search_split_probability ->
+    when Float.compare (Ei_util.Rng.float t.rng)
+           t.config.search_split_probability
+         < 0 ->
     let k = c / 2 in
     if k <= t.std_capacity then Some Policy.Spec_std
     else Some (Policy.Spec_seq k)
@@ -169,8 +178,8 @@ let on_merge t view ~total ~left ~right =
      otherwise the merged leaf reverts to standard whenever it fits, so
      removes drive expansion (§4).  A merge too large for a standard leaf
      must stay compact regardless of state. *)
-  if t.state = Shrinking || total > t.std_capacity then begin
-    let rec fit c =
+  if state_equal t.state Shrinking || total > t.std_capacity then begin
+    let rec fit (c : int) =
       if c >= total || c >= t.config.max_compact_capacity then c else fit (2 * c)
     in
     Policy.Spec_seq (fit t.config.initial_compact_capacity)

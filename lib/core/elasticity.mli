@@ -18,6 +18,10 @@ type state = Normal | Shrinking | Expanding
 
 val state_name : state -> string
 
+val state_equal : state -> state -> bool
+(** Monomorphic state equality (hot paths must not use polymorphic
+    comparison; the ei_lint poly-compare rule enforces this). *)
+
 type config = {
   size_bound : int;                 (** soft index size bound, bytes *)
   shrink_fraction : float;          (** enter shrinking at this * bound *)

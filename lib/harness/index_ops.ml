@@ -2,8 +2,20 @@
    repository, so workload drivers, the MCAS table plugin, benchmarks
    and examples can be written once and run against any of them. *)
 
+(* The concrete structure behind the closures, so external validators
+   ({!Ei_check}) can reach structure-specific introspection. *)
+type backend =
+  | B_btree of Ei_btree.Btree.t
+  | B_elastic of Ei_core.Elastic_btree.t
+  | B_radix of Ei_baselines.Radix.t
+  | B_skiplist of Ei_baselines.Skiplist.t
+  | B_hybrid of Ei_baselines.Hybrid.t
+  | B_elastic_skiplist of Ei_core.Elastic_skiplist.t
+
 type t = {
   name : string;
+  backend : backend;
+  key_len : int;  (* length in bytes of every key the index accepts *)
   insert : string -> int -> bool;
   remove : string -> bool;
   update : string -> int -> bool;  (* in-place value overwrite *)
@@ -27,6 +39,8 @@ let checksum = ref 0
 let of_btree name (tree : Ei_btree.Btree.t) =
   {
     name;
+    backend = B_btree tree;
+    key_len = Ei_btree.Btree.key_len tree;
     insert = Ei_btree.Btree.insert tree;
     remove = Ei_btree.Btree.remove tree;
     update = Ei_btree.Btree.update tree;
@@ -53,6 +67,8 @@ let of_btree name (tree : Ei_btree.Btree.t) =
 let of_elastic name (tree : Ei_core.Elastic_btree.t) =
   {
     name;
+    backend = B_elastic tree;
+    key_len = Ei_core.Elastic_btree.key_len tree;
     insert = Ei_core.Elastic_btree.insert tree;
     remove = Ei_core.Elastic_btree.remove tree;
     update = Ei_core.Elastic_btree.update tree;
@@ -81,6 +97,8 @@ let of_elastic name (tree : Ei_core.Elastic_btree.t) =
 let of_radix name (tree : Ei_baselines.Radix.t) =
   {
     name;
+    backend = B_radix tree;
+    key_len = Ei_baselines.Radix.key_len tree;
     insert = Ei_baselines.Radix.insert tree;
     remove = Ei_baselines.Radix.remove tree;
     update = Ei_baselines.Radix.update tree;
@@ -107,6 +125,8 @@ let of_radix name (tree : Ei_baselines.Radix.t) =
 let of_elastic_skiplist name (tree : Ei_core.Elastic_skiplist.t) =
   {
     name;
+    backend = B_elastic_skiplist tree;
+    key_len = Ei_core.Elastic_skiplist.key_len tree;
     insert = Ei_core.Elastic_skiplist.insert tree;
     remove = Ei_core.Elastic_skiplist.remove tree;
     update = Ei_core.Elastic_skiplist.update_value tree;
@@ -135,6 +155,8 @@ let of_elastic_skiplist name (tree : Ei_core.Elastic_skiplist.t) =
 let of_hybrid name (tree : Ei_baselines.Hybrid.t) =
   {
     name;
+    backend = B_hybrid tree;
+    key_len = Ei_baselines.Hybrid.key_len tree;
     insert = Ei_baselines.Hybrid.insert tree;
     remove = Ei_baselines.Hybrid.remove tree;
     update = Ei_baselines.Hybrid.update tree;
@@ -164,6 +186,8 @@ let of_hybrid name (tree : Ei_baselines.Hybrid.t) =
 let of_skiplist name (tree : Ei_baselines.Skiplist.t) =
   {
     name;
+    backend = B_skiplist tree;
+    key_len = Ei_baselines.Skiplist.key_len tree;
     insert = Ei_baselines.Skiplist.insert tree;
     remove = Ei_baselines.Skiplist.remove tree;
     update = Ei_baselines.Skiplist.update tree;

@@ -2,8 +2,20 @@
     repository, so workload drivers, the MCAS table plugin, benchmarks
     and examples are written once. *)
 
+(** The concrete structure behind the closures.  {!Ei_check} dispatches
+    its deep validators on this. *)
+type backend =
+  | B_btree of Ei_btree.Btree.t
+  | B_elastic of Ei_core.Elastic_btree.t
+  | B_radix of Ei_baselines.Radix.t
+  | B_skiplist of Ei_baselines.Skiplist.t
+  | B_hybrid of Ei_baselines.Hybrid.t
+  | B_elastic_skiplist of Ei_core.Elastic_skiplist.t
+
 type t = {
   name : string;
+  backend : backend;
+  key_len : int;  (** length in bytes of every key the index accepts *)
   insert : string -> int -> bool;
   remove : string -> bool;
   update : string -> int -> bool;  (** in-place value overwrite *)

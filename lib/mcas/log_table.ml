@@ -82,11 +82,11 @@ let scan t ~start ~n = t.index.Index_ops.scan start n
    no row accesses for key-storing indexes, one indirect load per key
    for compact/blind ones (§2). *)
 let distinct_objects t ~start ~n =
-  let seen = Hashtbl.create 64 in
+  let seen = Ei_util.Strtbl.create 64 in
   ignore
     (t.index.Index_ops.scan_keys start n (fun key ->
-         Hashtbl.replace seen (String.sub key 8 8) ()));
-  Hashtbl.length seen
+         Ei_util.Strtbl.replace seen (String.sub key 8 8) ()));
+  Ei_util.Strtbl.length seen
 
 let row_count t = t.cols.n
 let index_memory_bytes t = t.index.Index_ops.memory_bytes ()

@@ -9,15 +9,17 @@
    why index-level slowdowns translate into only small end-to-end
    slowdowns (Fig 8). *)
 
+module Strtbl = Ei_util.Strtbl
+
 type partition = {
   id : int;
-  pool : (string, string) Hashtbl.t;
+  pool : string Strtbl.t;
   mutable ado : Ado.t option;
   mutable kv_ops : int;
   mutable ado_ops : int;
 }
 
-type t = { partitions : partition array; request_work : int }
+type t = { partitions : partition array; request_work : int; hash_seed : int }
 
 (* Per-request engine work: MCAS is network-attached, so every operation
    pays request (de)serialisation and engine dispatch before reaching the
@@ -36,19 +38,25 @@ let simulate_request_path rounds =
   done;
   ignore (Sys.opaque_identity !acc)
 
-let create ?(partitions = 1) ?(request_work = 2048) () =
+let create ?(partitions = 1) ?(request_work = 2048) ?(hash_seed = 0x5143) () =
   assert (partitions >= 1);
   {
     partitions =
       Array.init partitions (fun id ->
-          { id; pool = Hashtbl.create 1024; ado = None; kv_ops = 0; ado_ops = 0 });
+          { id; pool = Strtbl.create 1024; ado = None; kv_ops = 0; ado_ops = 0 });
     request_work;
+    hash_seed;
   }
 
 let partition_count t = Array.length t.partitions
 
-(* Deterministic partition routing by key hash. *)
-let route t key = Hashtbl.hash key mod Array.length t.partitions
+(* Partition routing: seeded FNV-1a over the key bytes.  Unlike
+   [Hashtbl.hash] — whose bounded-prefix fold collapses long
+   shared-prefix keys onto few partitions and whose output is
+   unspecified across compiler versions — this is deterministic,
+   reproducible, and sensitive to every key byte; the seed lets
+   deployments re-shuffle a pathological key set without code changes. *)
+let route t key = Ei_util.Fnv.hash ~seed:t.hash_seed key mod Array.length t.partitions
 
 (* --- Plain KV operations -------------------------------------------- *)
 
@@ -56,27 +64,27 @@ let put t key value =
   simulate_request_path t.request_work;
   let p = t.partitions.(route t key) in
   p.kv_ops <- p.kv_ops + 1;
-  Hashtbl.replace p.pool key value
+  Strtbl.replace p.pool key value
 
 let get t key =
   simulate_request_path t.request_work;
   let p = t.partitions.(route t key) in
   p.kv_ops <- p.kv_ops + 1;
-  Hashtbl.find_opt p.pool key
+  Strtbl.find_opt p.pool key
 
 let delete t key =
   simulate_request_path t.request_work;
   let p = t.partitions.(route t key) in
   p.kv_ops <- p.kv_ops + 1;
-  let existed = Hashtbl.mem p.pool key in
-  Hashtbl.remove p.pool key;
+  let existed = Strtbl.mem p.pool key in
+  Strtbl.remove p.pool key;
   existed
 
 (* --- ADO ------------------------------------------------------------- *)
 
 let attach_ado t ~partition ado =
   let p = t.partitions.(partition) in
-  assert (p.ado = None);
+  assert (Option.is_none p.ado);
   p.ado <- Some ado
 
 let invoke t ~partition work =

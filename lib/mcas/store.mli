@@ -10,9 +10,11 @@
 
 type t
 
-val create : ?partitions:int -> ?request_work:int -> unit -> t
+val create : ?partitions:int -> ?request_work:int -> ?hash_seed:int -> unit -> t
 (** [request_work] scales the modelled per-request engine cost
-    (checksum rounds; default 2048, ~2 microseconds). *)
+    (checksum rounds; default 2048, ~2 microseconds).  [hash_seed]
+    seeds the FNV-1a partition-routing hash: routing is deterministic
+    for a given seed and every key byte contributes to it. *)
 
 val partition_count : t -> int
 

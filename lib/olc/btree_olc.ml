@@ -19,6 +19,7 @@
    sibling chain used by range scans immutable. *)
 
 module Key = Ei_util.Key
+module Invariant = Ei_util.Invariant
 module Std_leaf = Ei_btree.Std_leaf
 module Seqtree = Ei_blindi.Seqtree
 
@@ -124,7 +125,8 @@ type t = {
    version validation rejects the result. *)
 let safe_loader ~key_len ~table_length ~load =
   let dummy = String.make key_len '\000' in
-  fun tid -> if tid >= 0 && tid < table_length () then load tid else dummy
+  fun (tid : int) ->
+    if tid >= 0 && tid < table_length () then load tid else dummy
 
 let empty_leaf t =
   let repr =
@@ -422,8 +424,8 @@ let convert_full_leaf t node nv capacity =
     | Some e ->
       convert_locked_leaf t l ~capacity ~levels:e.cfg.seq_levels
         ~breathing:e.cfg.breathing
-    | None -> assert false)
-  | Inner _ -> assert false);
+    | None -> Invariant.impossible "Btree_olc.convert_full_leaf: no elastic config")
+  | Inner _ -> Invariant.impossible "Btree_olc.convert_full_leaf: inner node");
   write_unlock (node_version node);
   raise Restart
 
@@ -510,7 +512,8 @@ let insert t key tid =
           (match r with
           | Std_leaf.Inserted -> true
           | Std_leaf.Duplicate -> false
-          | Std_leaf.Full -> assert false)
+          | Std_leaf.Full ->
+            Invariant.impossible "Btree_olc.insert: leaf still full after split")
         | Inner nd ->
           let i = child_index nd key in
           let child = nd.children.(i) in

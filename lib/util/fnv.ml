@@ -1,0 +1,29 @@
+(* Seeded FNV-1a over key bytes.
+
+   The stdlib's [Hashtbl.hash] is unsuitable for hashing index keys: it
+   folds only a bounded prefix of the value (10 "meaningful" words by
+   default), so long keys sharing a prefix — exactly the shape of
+   object-store log keys — collapse onto a handful of buckets, and its
+   exact output is unspecified across compiler versions, making
+   partition routing non-reproducible.  FNV-1a touches every byte, is
+   fully specified, and the seed folds in first so distinct seeds give
+   independent routings over the same key set. *)
+
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let step h byte = Int64.mul (Int64.logxor h (Int64.of_int byte)) prime
+
+let hash64 ?(seed = 0) s =
+  let h = ref offset_basis in
+  (* Fold the seed in byte-by-byte so it diffuses like key bytes do. *)
+  if seed <> 0 then
+    for i = 0 to 7 do
+      h := step !h ((seed lsr (8 * i)) land 0xff)
+    done;
+  for i = 0 to String.length s - 1 do
+    h := step !h (Char.code (String.unsafe_get s i))
+  done;
+  !h
+
+let hash ?seed s = Int64.to_int (hash64 ?seed s) land max_int

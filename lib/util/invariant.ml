@@ -1,0 +1,20 @@
+(* Structured failure for broken internal invariants.
+
+   Library code must not abort through [failwith] (an anonymous
+   [Failure] indistinguishable from user error) or [assert false] (a
+   bare [Assert_failure] with no context) — the ei_lint no-abort rule
+   enforces this.  Raising [Broken] instead names the structure and the
+   invariant, so a sanitizer or harness can catch, attribute and report
+   the corruption instead of tearing the process down anonymously. *)
+
+exception Broken of string
+
+let () =
+  Printexc.register_printer (function
+    | Broken msg -> Some ("Invariant.Broken: " ^ msg)
+    | _ -> None)
+
+let broken msg = raise (Broken msg)
+let brokenf fmt = Printf.ksprintf broken fmt
+
+let impossible what = raise (Broken ("unreachable: " ^ what))

@@ -1,0 +1,20 @@
+(** Structured failure for broken internal invariants.
+
+    Library code raises {!Broken} (via {!broken} / {!impossible})
+    instead of [failwith] / [assert false], so corruption is
+    attributable — the message names the structure and the violated
+    invariant — and catchable by the {!Ei_check} sanitizer and test
+    harnesses.  The ei_lint no-abort rule enforces this convention. *)
+
+exception Broken of string
+
+val broken : string -> 'a
+(** Raise {!Broken}.  Use for detected invariant violations. *)
+
+val brokenf : ('a, unit, string, 'b) format4 -> 'a
+(** [broken] with a format string. *)
+
+val impossible : string -> 'a
+(** Raise {!Broken} for a match case that is unreachable by
+    construction; the argument names the site, e.g.
+    ["Btree.fix_leaf_child: sibling is an inner node"]. *)

@@ -1,0 +1,13 @@
+(* Monomorphic string-keyed hash table.
+
+   Replaces polymorphic [Hashtbl] uses keyed on variable-length keys:
+   equality is [String.equal] (no polymorphic structural compare on the
+   hot path) and hashing is FNV-1a over every key byte, immune to
+   [Hashtbl.hash]'s bounded-prefix truncation. *)
+
+include Hashtbl.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash s = Fnv.hash s
+end)

@@ -1,0 +1,9 @@
+(** Monomorphic string-keyed hash table ([Hashtbl.Make] over
+    [String.equal] + {!Fnv.hash}).
+
+    Use this instead of the polymorphic [Hashtbl] whenever keys are
+    strings: lookups avoid polymorphic comparison and the hash reads
+    every byte (no bounded-prefix truncation on long shared-prefix
+    keys). *)
+
+include Hashtbl.S with type key = string

@@ -74,7 +74,7 @@ let insert_next t =
   end;
   t.tids.(seq) <- tid;
   t.next_seq <- seq + 1;
-  if not (t.index.Index_ops.insert key tid) then failwith "ycsb: duplicate key"
+  if not (t.index.Index_ops.insert key tid) then Ei_util.Invariant.broken "ycsb: duplicate key"
 
 (* Load phase: insert [n] records. *)
 let load t n =
@@ -103,12 +103,12 @@ let run t ~workload ~dist ~ops =
       let seq = pick_seq t dist in
       match t.index.Index_ops.find (key_of_seq seq) with
       | Some _ -> incr found
-      | None -> failwith "ycsb: read lost a key"
+      | None -> Ei_util.Invariant.broken "ycsb: read lost a key"
     end
     else if c < r_update then begin
       let seq = pick_seq t dist in
       if not (t.index.Index_ops.update (key_of_seq seq) t.tids.(seq)) then
-        failwith "ycsb: update lost a key"
+        Ei_util.Invariant.broken "ycsb: update lost a key"
     end
     else if c < r_insert then insert_next t
     else if c < r_scan then begin
@@ -121,9 +121,9 @@ let run t ~workload ~dist ~ops =
       let seq = pick_seq t dist in
       (match t.index.Index_ops.find (key_of_seq seq) with
       | Some _ -> incr found
-      | None -> failwith "ycsb: rmw lost a key");
+      | None -> Ei_util.Invariant.broken "ycsb: rmw lost a key");
       if not (t.index.Index_ops.update (key_of_seq seq) t.tids.(seq)) then
-        failwith "ycsb: rmw update lost a key"
+        Ei_util.Invariant.broken "ycsb: rmw update lost a key"
     end
   done;
   !found

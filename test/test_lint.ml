@@ -1,0 +1,159 @@
+(* Unit tests for the ei_lint rules engine: each forbidden pattern is
+   written to a temporary fixture file and must produce a diagnostic
+   under the matching rule; a clean fixture must produce none.  The
+   fixture's [display] path controls scope (poly-compare only fires
+   under hot-path directories, no-abort only under lib/). *)
+
+let with_fixture contents f =
+  let path = Filename.temp_file "ei_lint_fixture" ".ml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      f path)
+
+let rules_firing ~display contents =
+  with_fixture contents (fun path ->
+      List.map
+        (fun d -> d.Lint_rules.rule)
+        (Lint_rules.lint_file ~path ~display))
+  |> List.sort_uniq String.compare
+
+let check_fires ~display ~rule contents =
+  let rules = rules_firing ~display contents in
+  if not (List.mem rule rules) then
+    Alcotest.failf "expected rule %s to fire on %S; got [%s]" rule contents
+      (String.concat "; " rules)
+
+let check_clean ~display contents =
+  match rules_firing ~display contents with
+  | [] -> ()
+  | rules ->
+    Alcotest.failf "expected no findings on %S; got [%s]" contents
+      (String.concat "; " rules)
+
+let hot = "lib/btree/fixture.ml"
+
+(* --- poly-compare ---------------------------------------------------- *)
+
+let test_poly_compare () =
+  (* Unannotated operands: could be strings, must go through Key.compare. *)
+  check_fires ~display:hot ~rule:"poly-compare" "let f a b = a = b\n";
+  check_fires ~display:hot ~rule:"poly-compare" "let f a b = a < b\n";
+  check_fires ~display:hot ~rule:"poly-compare" "let f a b = compare a b\n";
+  check_fires ~display:hot ~rule:"poly-compare" "let f a b = min a b\n";
+  (* Structured operands are always findings, even against a literal. *)
+  check_fires ~display:hot ~rule:"poly-compare"
+    "let f x = x = (1, 2)\n";
+  check_fires ~display:hot ~rule:"poly-compare"
+    "let f x = x = \"abc\"\n";
+  check_fires ~display:hot ~rule:"poly-compare" "let f x = x = Some 3\n";
+  (* Evidently-immediate operands are fine. *)
+  check_clean ~display:hot "let f a = a = 3\n";
+  check_clean ~display:hot "let f (a : int) b = a = b\n";
+  check_clean ~display:hot "let f s t = String.length s = String.length t\n";
+  check_clean ~display:hot "let f s t = String.equal s t\n";
+  check_clean ~display:hot "let f s t = Key.compare s t < 0\n";
+  check_clean ~display:hot "let f s t = String.compare s t = 0 && Int.equal 1 1\n";
+  (* let-bound immediates propagate through the environment. *)
+  check_clean ~display:hot "let f s t =\n  let n = String.length s in\n  let m = String.length t in\n  n = m\n";
+  (* Out of the hot path the rule is silent... *)
+  check_clean ~display:"lib/workload/fixture.ml" "let f a b = a = b\n";
+  (* ...but the scope covers all five hot directories. *)
+  List.iter
+    (fun dir ->
+      check_fires ~display:(dir ^ "/fixture.ml") ~rule:"poly-compare"
+        "let f a b = a = b\n")
+    [ "lib/btree"; "lib/blindi"; "lib/core"; "lib/olc"; "lib/baselines" ]
+
+(* --- hashtbl --------------------------------------------------------- *)
+
+let test_hashtbl () =
+  check_fires ~display:hot ~rule:"hashtbl" "let f k = Hashtbl.hash k\n";
+  check_fires ~display:hot ~rule:"hashtbl" "let t = Hashtbl.create 16\n";
+  check_fires ~display:"lib/harness/fixture.ml" ~rule:"hashtbl"
+    "let f k = Stdlib.Hashtbl.hash k\n";
+  (* The seeded replacement is the sanctioned route. *)
+  check_clean ~display:hot "let f k = Ei_util.Fnv.hash k\n";
+  check_clean ~display:hot "let t = Ei_util.Strtbl.create 16\n"
+
+(* --- obj-magic ------------------------------------------------------- *)
+
+let test_obj_magic () =
+  check_fires ~display:hot ~rule:"obj-magic" "let f x = Obj.magic x\n";
+  check_fires ~display:"lib/util/fixture.ml" ~rule:"obj-magic"
+    "let f x = Stdlib.Obj.magic x\n"
+
+(* --- no-abort -------------------------------------------------------- *)
+
+let test_no_abort () =
+  check_fires ~display:hot ~rule:"no-abort" "let f () = failwith \"boom\"\n";
+  check_fires ~display:hot ~rule:"no-abort"
+    "let f x = match x with Some y -> y | None -> assert false\n";
+  (* Plain asserts of real conditions are allowed. *)
+  check_clean ~display:hot "let f n = assert (n >= 0)\n";
+  (* Raising a structured exception is the sanctioned route. *)
+  check_clean ~display:hot
+    "let f () = Ei_util.Invariant.impossible \"unreachable\"\n"
+
+(* --- syntax ---------------------------------------------------------- *)
+
+let test_syntax () =
+  check_fires ~display:hot ~rule:"syntax" "let f = (\n"
+
+(* --- mli coverage ---------------------------------------------------- *)
+
+let test_mli_coverage () =
+  with_fixture "let x = 1\n" (fun path ->
+      (* No sibling .mli: must fire. *)
+      (match Lint_rules.check_mli_coverage ~ml_files:[ (path, path) ] with
+      | [ d ] ->
+        Alcotest.(check string) "rule" "mli-coverage" d.Lint_rules.rule
+      | ds -> Alcotest.failf "expected 1 finding, got %d" (List.length ds));
+      (* With the sibling present: clean. *)
+      let mli = path ^ "i" in
+      let oc = open_out mli in
+      output_string oc "val x : int\n";
+      close_out oc;
+      Fun.protect
+        ~finally:(fun () -> Sys.remove mli)
+        (fun () ->
+          Alcotest.(check int) "covered" 0
+            (List.length (Lint_rules.check_mli_coverage ~ml_files:[ (path, path) ]))))
+
+(* --- scope helpers --------------------------------------------------- *)
+
+let test_in_hot_path () =
+  List.iter
+    (fun (path, expect) ->
+      Alcotest.(check bool) path expect (Lint_rules.in_hot_path path))
+    [
+      ("lib/btree/btree.ml", true);
+      ("lib/blindi/seqtree.ml", true);
+      ("lib/core/elasticity.ml", true);
+      ("lib/olc/btree_olc.ml", true);
+      ("lib/baselines/radix.ml", true);
+      ("lib/workload/ycsb.ml", false);
+      ("lib/harness/registry.ml", false);
+      ("bin/ei_cli.ml", false);
+    ]
+
+let () =
+  Alcotest.run "ei_lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "poly-compare" `Quick test_poly_compare;
+          Alcotest.test_case "hashtbl" `Quick test_hashtbl;
+          Alcotest.test_case "obj-magic" `Quick test_obj_magic;
+          Alcotest.test_case "no-abort" `Quick test_no_abort;
+          Alcotest.test_case "syntax" `Quick test_syntax;
+        ] );
+      ( "scope",
+        [
+          Alcotest.test_case "mli coverage" `Quick test_mli_coverage;
+          Alcotest.test_case "hot-path dirs" `Quick test_in_hot_path;
+        ] );
+    ]

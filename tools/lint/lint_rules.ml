@@ -1,0 +1,418 @@
+(* ei_lint rules engine.
+
+   Table-driven AST lint over the untyped parsetree (compiler-libs):
+   each rule is an entry in {!expr_rules} — a name, a one-line
+   rationale, a file scope, and a checker over [Parsetree.expression] —
+   so adding a rule is adding one list element.
+
+   The poly-compare rule works without type information.  It flags an
+   application of a polymorphic comparison operator unless one operand
+   is *evidently immediate* (an int/char/bool literal, an application of
+   a known int-returning function, a field access known to hold an int,
+   a ref deref, an [: int] constraint, or a variable the per-file
+   environment saw bound to one of those), and it flags the application
+   regardless when an operand is *evidently structural* (a constructor,
+   tuple, record, list, variant or string literal) — comparing those
+   with [=] walks the polymorphic comparator over arbitrary structure.
+   The classifier is deliberately conservative: code that compares ints
+   through an alias the tables don't know gets annotated at the use
+   site, which is the fix we want anyway. *)
+
+open Parsetree
+
+type diag = { file : string; line : int; col : int; rule : string; msg : string }
+
+let compare_diag a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let pp_diag ppf d =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.msg
+
+(* ------------------------------------------------------------------ *)
+(* Scopes and tables.                                                  *)
+
+(* Hot-path directories: modules where a polymorphic compare on the key
+   path costs a C call per comparison. *)
+let hot_dirs =
+  [ "lib/btree/"; "lib/blindi/"; "lib/core/"; "lib/olc/"; "lib/baselines/" ]
+
+(* Per-file, per-rule suppressions.  Deliberately empty: genuine
+   findings get fixed, not allowlisted.  Entries are
+   [(rule, path_suffix)]. *)
+let allowlist : (string * string) list = []
+
+let poly_cmp_ops = [ "="; "<>"; "<"; ">"; "<="; ">=" ]
+let poly_fn_ops = [ "compare"; "equal" ]
+let poly_minmax_ops = [ "min"; "max" ]
+
+(* Functions whose application is evidently an immediate value (int or
+   char), keyed by the final path component, so [Array.length],
+   [Bitsarr.get] and [Key.compare] all resolve. *)
+let int_fns =
+  [
+    "+"; "-"; "*"; "/"; "~-"; "mod"; "land"; "lor"; "lxor"; "lsl"; "lsr";
+    "asr"; "abs"; "succ"; "pred"; "min"; "max"; "compare"; "length";
+    "code"; "get"; "unsafe_get"; "count"; "capacity"; "level"; "levels";
+    "height"; "bit"; "key_bit"; "byte_at"; "diff_bit"; "first_byte";
+    "width_for_bits"; "tree_size"; "tid_slots_for"; "tid_at"; "tid_slots";
+    "spec_capacity"; "std_capacity"; "memory_bytes"; "high_water_bytes";
+    "bytes"; "node_bytes"; "leaf_bytes"; "inner_bytes"; "seqtree_bytes";
+    "subtrie_bytes"; "stringtrie_bytes"; "skiplist_node_bytes";
+    "int_of_float"; "int_of_char"; "to_int"; "of_int"; "int"; "hash";
+    "child_index"; "lower_bound"; "random_height"; "segments";
+    "transitions"; "conversions"; "index"; "compact_leaves";
+    "node_child"; "shared_prefix_len";
+  ]
+
+(* Record fields known to hold ints across the index libraries. *)
+let int_fields =
+  [
+    "n"; "pos"; "level"; "levels"; "items"; "capacity"; "key_len";
+    "breathing"; "hits"; "tid"; "bytes"; "node_bytes"; "std_capacity";
+    "inner_capacity"; "size_bound"; "initial_compact_capacity";
+    "max_compact_capacity"; "segment_capacity"; "max_segment_capacity";
+    "cold_sweep_period"; "cold_sweep_batch"; "seed"; "transitions";
+    "segments"; "conversions"; "leaf_splits"; "leaf_merges";
+    "search_splits"; "searches"; "scan_steps"; "tree_steps";
+    "key_compares"; "inserts"; "removes"; "rebuilds"; "merges";
+    "merge_work"; "key_loads"; "ops"; "width"; "seq_levels";
+    "seq_breathing"; "static_n"; "compact_leaves"; "delta_count";
+    "consolidate_at"; "prefix_len"; "leaf_capacity";
+  ]
+
+(* Identifiers that are immediate constants wherever they appear. *)
+let int_idents = [ "max_int"; "min_int"; "et"; "max_level" ]
+
+(* ------------------------------------------------------------------ *)
+(* Longident helpers.                                                  *)
+
+let rec last_of = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (_, s) -> s
+  | Longident.Lapply (_, l) -> last_of l
+
+let path_of lid = try Longident.flatten lid with Misc.Fatal_error -> []
+
+(* [Hashtbl.f] or [Stdlib.Hashtbl.f]. *)
+let is_stdlib_hashtbl lid f =
+  match path_of lid with
+  | [ "Hashtbl"; g ] | [ "Stdlib"; "Hashtbl"; g ] -> String.equal f g
+  | _ -> false
+
+(* Unqualified [op] or [Stdlib.op]: the polymorphic one. *)
+let is_stdlib_op lid ops =
+  match path_of lid with
+  | [ op ] | [ "Stdlib"; op ] -> List.mem op ops
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The evidently-immediate classifier.                                 *)
+
+type env = (string, unit) Hashtbl.t
+(* Variables the current file let-bound (or annotated) to an immediate
+   value. *)
+
+let int_typ ty =
+  match ty.ptyp_desc with
+  | Ptyp_constr ({ txt = Longident.Lident ("int" | "char" | "bool"); _ }, [])
+    ->
+    true
+  | _ -> false
+
+let rec immediate (env : env) e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer _ | Pconst_char _) -> true
+  | Pexp_construct ({ txt = Longident.Lident ("true" | "false" | "()"); _ }, None)
+    ->
+    true
+  | Pexp_ident { txt; _ } ->
+    let n = last_of txt in
+    List.mem n int_idents || Hashtbl.mem env n
+  | Pexp_field (_, { txt; _ }) -> List.mem (last_of txt) int_fields
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+    let n = last_of txt in
+    String.equal n "!" || List.mem n int_fns
+  | Pexp_constraint (_, ty) -> int_typ ty
+  | Pexp_ifthenelse (_, a, Some b) -> immediate env a && immediate env b
+  | _ -> false
+
+(* Values whose comparison with a polymorphic operator walks structure:
+   always a finding, whatever the other operand. *)
+let structural e =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt; _ }, _) -> (
+    match last_of txt with "true" | "false" | "()" -> false | _ -> true)
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ | Pexp_variant _ -> true
+  | Pexp_constant (Pconst_string _) -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Rule table.                                                         *)
+
+type emit = loc:Location.t -> rule:string -> string -> unit
+
+type expr_rule = {
+  name : string;
+  short : string;  (* one-line rationale, shown by --rules *)
+  hot_only : bool;  (* restrict to [hot_dirs] *)
+  check : emit:emit -> env -> expression -> unit;
+}
+
+let two_args args =
+  match args with
+  | [ (Asttypes.Nolabel, a); (Asttypes.Nolabel, b) ] -> Some (a, b)
+  | _ -> None
+
+let rule_poly_compare =
+  {
+    name = "poly-compare";
+    short =
+      "hot-path comparisons must be monomorphic (Key.compare, \
+       String.compare, Int.equal, or evidently-int operands)";
+    hot_only = true;
+    check =
+      (fun ~emit env e ->
+        match e.pexp_desc with
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
+          let flag op why = emit ~loc ~rule:"poly-compare" (why op) in
+          let op = last_of txt in
+          let cmp = is_stdlib_op txt poly_cmp_ops in
+          let fn = is_stdlib_op txt poly_fn_ops in
+          let mm = is_stdlib_op txt poly_minmax_ops in
+          if cmp || fn || mm then (
+            match two_args args with
+            | Some (a, b) ->
+              if structural a || structural b then
+                flag op
+                  (Printf.sprintf
+                     "polymorphic (%s) over a structured value; match on it \
+                      or use a monomorphic equality")
+              else if fn then
+                flag op
+                  (Printf.sprintf
+                     "polymorphic %s; use Key.compare / String.compare / \
+                      Int.equal")
+              else if not (immediate env a || immediate env b) then
+                flag op
+                  (Printf.sprintf
+                     "polymorphic (%s) on operands not evidently immediate; \
+                      use a monomorphic comparison or annotate an operand \
+                      with its (immediate) type")
+            | None ->
+              (* Partial application: cannot see the operands. *)
+              flag op
+                (Printf.sprintf
+                   "partial application of polymorphic (%s); use a \
+                    monomorphic comparison"))
+        | _ -> ());
+  }
+
+let rule_hashtbl =
+  {
+    name = "hashtbl";
+    short =
+      "Hashtbl.hash folds a bounded key prefix and the default Hashtbl is \
+       keyed on it; use Ei_util.Fnv / Ei_util.Strtbl for string keys";
+    hot_only = false;
+    check =
+      (fun ~emit _env e ->
+        match e.pexp_desc with
+        | Pexp_ident { txt; loc } when is_stdlib_hashtbl txt "hash" ->
+          emit ~loc ~rule:"hashtbl"
+            "Hashtbl.hash truncates variable-length keys (bounded-prefix \
+             fold); use Ei_util.Fnv.hash"
+        | Pexp_ident { txt; loc } when is_stdlib_hashtbl txt "create" ->
+          emit ~loc ~rule:"hashtbl"
+            "default Hashtbl uses the truncating polymorphic hash; use \
+             Ei_util.Strtbl (seeded FNV-1a) for string keys"
+        | _ -> ());
+  }
+
+let rule_obj_magic =
+  {
+    name = "obj-magic";
+    short = "Obj.magic is never acceptable in library code";
+    hot_only = false;
+    check =
+      (fun ~emit _env e ->
+        match e.pexp_desc with
+        | Pexp_ident { txt; loc } when
+            (match path_of txt with
+            | [ "Obj"; "magic" ] | [ "Stdlib"; "Obj"; "magic" ] -> true
+            | _ -> false) ->
+          emit ~loc ~rule:"obj-magic" "Obj.magic defeats the type system"
+        | _ -> ());
+  }
+
+let rule_no_abort =
+  {
+    name = "no-abort";
+    short =
+      "library code must not abort anonymously: raise Ei_util.Invariant \
+       (Broken/impossible) instead of failwith / assert false";
+    hot_only = false;
+    check =
+      (fun ~emit _env e ->
+        match e.pexp_desc with
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _)
+          when is_stdlib_op txt [ "failwith" ] ->
+          emit ~loc ~rule:"no-abort"
+            "failwith raises an anonymous Failure; use \
+             Ei_util.Invariant.broken with a diagnosis"
+        | Pexp_assert
+            {
+              pexp_desc =
+                Pexp_construct ({ txt = Longident.Lident "false"; _ }, None);
+              pexp_loc = loc;
+              _;
+            } ->
+          emit ~loc ~rule:"no-abort"
+            "assert false aborts without a diagnosis; use \
+             Ei_util.Invariant.impossible"
+        | _ -> ());
+  }
+
+let expr_rules =
+  [ rule_poly_compare; rule_hashtbl; rule_obj_magic; rule_no_abort ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-file driver.                                                    *)
+
+let in_hot_path file =
+  let has_prefix_at i p =
+    i + String.length p <= String.length file
+    && String.equal (String.sub file i (String.length p)) p
+  in
+  List.exists
+    (fun d ->
+      let n = String.length file in
+      let rec scan i = i < n && (has_prefix_at i d || scan (i + 1)) in
+      scan 0)
+    hot_dirs
+
+let allowlisted ~file ~rule =
+  List.exists
+    (fun (r, suffix) ->
+      String.equal r rule
+      && String.length file >= String.length suffix
+      && String.equal
+           (String.sub file
+              (String.length file - String.length suffix)
+              (String.length suffix))
+           suffix)
+    allowlist
+
+(* Track immediate-valued bindings: [let n = ...], [for i = ...],
+   [fun (x : int) ->], and constrained let patterns. *)
+let bind_env env pat rhs =
+  match (pat.ppat_desc, rhs) with
+  | Ppat_var { txt; _ }, Some e when immediate env e ->
+    Hashtbl.replace env txt ()
+  | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, ty), _
+    when int_typ ty ->
+    Hashtbl.replace env txt ()
+  | _ -> ()
+
+let lint_structure ~file structure =
+  let diags = ref [] in
+  let emit ~loc ~rule msg =
+    if not (allowlisted ~file ~rule) then begin
+      let p = loc.Location.loc_start in
+      diags :=
+        {
+          file;
+          line = p.Lexing.pos_lnum;
+          col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+          rule;
+          msg;
+        }
+        :: !diags
+    end
+  in
+  let env : env = Hashtbl.create 64 in
+  let hot = in_hot_path file in
+  let active =
+    List.filter (fun r -> (not r.hot_only) || hot) expr_rules
+  in
+  let super = Ast_iterator.default_iterator in
+  let iter =
+    {
+      super with
+      Ast_iterator.expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_let (_, vbs, _) ->
+            List.iter (fun vb -> bind_env env vb.pvb_pat (Some vb.pvb_expr)) vbs
+          | Pexp_fun (_, _, pat, _) -> bind_env env pat None
+          | Pexp_for (pat, _, _, _, _) -> (
+            match pat.ppat_desc with
+            | Ppat_var { txt; _ } -> Hashtbl.replace env txt ()
+            | _ -> ())
+          | _ -> ());
+          List.iter (fun r -> r.check ~emit env e) active;
+          super.Ast_iterator.expr it e);
+      Ast_iterator.value_binding =
+        (fun it vb ->
+          bind_env env vb.pvb_pat (Some vb.pvb_expr);
+          super.Ast_iterator.value_binding it vb);
+    }
+  in
+  iter.Ast_iterator.structure iter structure;
+  List.sort_uniq compare_diag !diags
+
+let parse_diag ~file exn =
+  let line, col, msg =
+    match Location.error_of_exn exn with
+    | Some (`Ok report) ->
+      let loc = report.Location.main.Location.loc in
+      let p = loc.Location.loc_start in
+      ( p.Lexing.pos_lnum,
+        p.Lexing.pos_cnum - p.Lexing.pos_bol,
+        Format.asprintf "%t" report.Location.main.Location.txt )
+    | Some `Already_displayed | None -> (1, 0, Printexc.to_string exn)
+  in
+  [ { file; line; col; rule = "syntax"; msg } ]
+
+let lint_file ~path ~display =
+  if Filename.check_suffix path ".mli" then
+    (* Interfaces carry no expressions; parsing still validates them. *)
+    try
+      ignore (Pparse.parse_interface ~tool_name:"ei_lint" path);
+      []
+    with exn -> parse_diag ~file:display exn
+  else
+    match Pparse.parse_implementation ~tool_name:"ei_lint" path with
+    | structure -> lint_structure ~file:display structure
+    | exception exn -> parse_diag ~file:display exn
+
+(* Every library module must have an interface: the .mli is where the
+   invariants live, and unconstrained exports are how internals leak. *)
+let check_mli_coverage ~ml_files =
+  List.filter_map
+    (fun (path, display) ->
+      if Sys.file_exists (path ^ "i") then None
+      else
+        Some
+          {
+            file = display;
+            line = 1;
+            col = 0;
+            rule = "mli-coverage";
+            msg = "library module without an interface; add a .mli";
+          })
+    ml_files
+
+let rules_help () =
+  String.concat "\n"
+    (List.map (fun r -> Printf.sprintf "%-14s %s" r.name r.short) expr_rules
+    @ [
+        Printf.sprintf "%-14s %s" "mli-coverage"
+          "every library module must have a .mli";
+      ])

@@ -1,0 +1,35 @@
+(** ei_lint rules engine (table-driven, untyped-AST).
+
+    Rules: [poly-compare] (hot-path modules must compare through
+    monomorphic functions unless an operand is evidently an immediate
+    value), [hashtbl] (no truncating [Hashtbl.hash] / default
+    [Hashtbl.create] on string keys), [obj-magic], [no-abort] (no
+    [failwith] / [assert false] in library code), and [mli-coverage].
+    Adding a rule is adding one entry to the internal table. *)
+
+type diag = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+}
+
+val compare_diag : diag -> diag -> int
+val pp_diag : Format.formatter -> diag -> unit
+
+val lint_file : path:string -> display:string -> diag list
+(** Parse [path] ([.ml] or [.mli]) and run every applicable rule.
+    [display] is the path printed in diagnostics.  Parse failures are
+    reported as a [syntax] diagnostic. *)
+
+val check_mli_coverage : ml_files:(string * string) list -> diag list
+(** [(path, display)] pairs of implementation files; reports each one
+    without a sibling [.mli]. *)
+
+val in_hot_path : string -> bool
+(** Whether a display path falls under a hot-path directory (the
+    [poly-compare] scope). *)
+
+val rules_help : unit -> string
+(** One line per rule, for [--rules]. *)
