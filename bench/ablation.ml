@@ -48,6 +48,14 @@ let prefix_ablation () =
       let stx = build Registry.Stx keys in
       let pre = build Registry.Prefix keys in
       let seq = build (Registry.Seqtree 128) keys in
+      let record index bytes =
+        emit ~name:"ablation-prefix"
+          ~params:[ ("index", index); ("dist", label) ]
+          ~ops_per_sec:0.0 ~bytes
+      in
+      record "stx" stx;
+      record "prefix" pre;
+      record "seqtree128" seq;
       print_row ~w:13
         [
           label;
@@ -97,14 +105,16 @@ let hybrid_ablation () =
               ignore (index.Index_ops.update k tid)
             done)
       in
+      let bytes = index.Index_ops.memory_bytes () in
+      let cell phase m =
+        emit_mops ~name:"ablation-hybrid"
+          ~params:[ ("index", label); ("phase", phase) ]
+          ~mops:m ~bytes
+      in
+      cell "insert" ins;
+      cell "update" upd;
       print_row ~w:13
-        [
-          label;
-          f3 ins;
-          f3 upd;
-          mb (index.Index_ops.memory_bytes ());
-          index.Index_ops.info ();
-        ])
+        [ label; f3 ins; f3 upd; mb bytes; index.Index_ops.info () ])
     [ ("hybrid", `Hybrid); ("elastic", `Elastic) ];
   pf
     "(hybrid is compact on insert-only loads but uniform updates violate\n\
@@ -142,6 +152,12 @@ let cold_sweep_ablation () =
   in
   let d_tput, d_mem, bound = run ~cold_sweep_period:0 in
   let c_tput, c_mem, _ = run ~cold_sweep_period:8 in
+  emit_mops ~name:"ablation-coldsweep"
+    ~params:[ ("policy", "overflow-only"); ("phase", "insert") ]
+    ~mops:d_tput ~bytes:d_mem;
+  emit_mops ~name:"ablation-coldsweep"
+    ~params:[ ("policy", "cold-sweep"); ("phase", "insert") ]
+    ~mops:c_tput ~bytes:c_mem;
   print_row ~w:16 [ "policy"; "ins Mops"; "mem MB"; "vs bound" ];
   print_row ~w:16
     [ "overflow-only"; f3 d_tput; mb d_mem; f2 (float_of_int d_mem /. float_of_int bound) ];
@@ -190,6 +206,13 @@ let representations_ablation () =
   List.iter
     (fun (label, which) ->
       let ins, srch, bytes = bench which in
+      let cell phase m =
+        emit_mops ~name:"ablation-repr"
+          ~params:[ ("repr", label); ("phase", phase) ]
+          ~mops:m ~bytes
+      in
+      cell "insert" ins;
+      cell "search" srch;
       print_row ~w:16
         [
           label;
@@ -245,15 +268,19 @@ let skiplist_ablation () =
   in
   let p_lkp = lookup (Ei_baselines.Skiplist.find plain) in
   let e_lkp = lookup (Ei_core.Elastic_skiplist.find elastic) in
+  let elastic_bytes = Ei_core.Elastic_skiplist.memory_bytes elastic in
+  let cell index phase m bytes =
+    emit_mops ~name:"ablation-skiplist"
+      ~params:[ ("index", index); ("phase", phase) ]
+      ~mops:m ~bytes
+  in
+  cell "skiplist" "insert" p_ins plain_bytes;
+  cell "skiplist" "lookup" p_lkp plain_bytes;
+  cell "elastic-sl" "insert" e_ins elastic_bytes;
+  cell "elastic-sl" "lookup" e_lkp elastic_bytes;
   print_row ~w:16 [ "index"; "ins Mops"; "lkp Mops"; "mem MB" ];
   print_row ~w:16 [ "skiplist"; f3 p_ins; f3 p_lkp; mb plain_bytes ];
-  print_row ~w:16
-    [
-      "elastic-sl";
-      f3 e_ins;
-      f3 e_lkp;
-      mb (Ei_core.Elastic_skiplist.memory_bytes elastic);
-    ];
+  print_row ~w:16 [ "elastic-sl"; f3 e_ins; f3 e_lkp; mb elastic_bytes ];
   pf "(elastic segments: %d, state %s — the same transformation, size\n\
       bound and state machine as the elastic B+-tree, on a skip list)\n"
     (Ei_core.Elastic_skiplist.segments elastic)
@@ -290,6 +317,13 @@ let dominated_ablation () =
     List.map
       (fun (label, kind) ->
         let ins, lkp, bytes = bench kind in
+        let cell phase m =
+          emit_mops ~name:"ablation-dominated"
+            ~params:[ ("index", label); ("phase", phase) ]
+            ~mops:m ~bytes
+        in
+        cell "insert" ins;
+        cell "lookup" lkp;
         print_row ~w:12 [ label; mb bytes; f3 ins; f3 lkp ];
         (label, (ins, lkp, bytes)))
       [

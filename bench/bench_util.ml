@@ -15,6 +15,17 @@ let scale =
 
 let scaled n = max 1 (int_of_float (float_of_int n *. scale))
 
+(* Single experiment seed (EI_SEED, default 42).  Parallel drivers
+   derive one splitmix64 stream per domain from it, so multi-domain
+   runs are reproducible: same seed, same per-domain op sequences,
+   regardless of interleaving. *)
+let seed =
+  match Sys.getenv_opt "EI_SEED" with
+  | Some s -> ( try int_of_string s with _ -> 42)
+  | None -> 42
+
+let domain_rng d = Ei_util.Rng.stream seed d
+
 let header title =
   Printf.printf "\n=== %s ===\n%!" title
 
@@ -24,6 +35,67 @@ let subheader s = Printf.printf "--- %s ---\n%!" s
 let mops ops f =
   let (), dt = Clock.time f in
   Clock.mops ops dt
+
+(* Warmup once, then repeat and take the median throughput — the
+   repeatable middle of the run-to-run distribution (GC and allocator
+   noise skew the mean).  [f] must be idempotent (read-only workloads,
+   or rebuilt state per call). *)
+let median_mops ?(warmup = 1) ?(repeat = 3) ops f =
+  assert (repeat >= 1);
+  for _ = 1 to warmup do
+    f ()
+  done;
+  let samples = Array.init repeat (fun _ -> mops ops f) in
+  Array.sort Float.compare samples;
+  samples.(repeat / 2)
+
+(* --- Machine-readable results (BENCH_results.json) ------------------- *)
+
+(* Every experiment appends one JSON object per measurement, one per
+   line (JSON Lines), so the perf trajectory of the repo is diffable
+   across commits.  [reset] truncates at suite start. *)
+
+let results_file = "BENCH_results.json"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let reset_results () =
+  let oc = open_out results_file in
+  close_out oc
+
+(* [emit ~name ~params ~ops_per_sec ~bytes] appends one record.
+   [params] is a list of (key, value) strings describing the
+   configuration cell (index kind, domains, workload, ...). *)
+let emit ~name ~params ~ops_per_sec ~bytes =
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 results_file
+  in
+  let params_json =
+    params
+    |> List.map (fun (k, v) ->
+           Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v))
+    |> String.concat ", "
+  in
+  Printf.fprintf oc
+    "{\"name\": \"%s\", \"params\": {%s}, \"ops_per_sec\": %.0f, \"bytes\": %d, \"scale\": %g, \"seed\": %d}\n"
+    (json_escape name) params_json ops_per_sec bytes scale seed;
+  close_out oc
+
+(* Convenience: most call sites measure Mops. *)
+let emit_mops ~name ~params ~mops:m ~bytes =
+  emit ~name ~params ~ops_per_sec:(m *. 1e6) ~bytes
 
 let pf = Printf.printf
 

@@ -47,6 +47,14 @@ let run () =
   in
   let s = Stats.global in
   let bstats = Ei_core.Elastic_btree.stats tree in
+  emit ~name:"cost"
+    ~params:[ ("index", "stx"); ("phase", "insert") ]
+    ~ops_per_sec:(float_of_int n /. stx_dt)
+    ~bytes:(stx.Index_ops.memory_bytes ());
+  emit ~name:"cost"
+    ~params:[ ("index", "elastic"); ("phase", "insert") ]
+    ~ops_per_sec:(float_of_int n /. ela_dt)
+    ~bytes:(Ei_core.Elastic_btree.memory_bytes tree);
   pf "items inserted:            %d\n" n;
   pf "STX insert time:           %.3f s\n" stx_dt;
   pf "elastic insert time:       %.3f s\n" ela_dt;

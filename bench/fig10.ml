@@ -47,6 +47,24 @@ let run () =
       let sub_ins, sub_srch, sub_bytes =
         bench ~keys ~load (Policy.all_subtrie ~capacity:slots ())
       in
+      List.iter
+        (fun (policy, ins, srch, bytes) ->
+          let cell phase m =
+            emit_mops ~name:"fig10"
+              ~params:
+                [
+                  ("policy", policy);
+                  ("slots", string_of_int slots);
+                  ("phase", phase);
+                ]
+              ~mops:m ~bytes
+          in
+          cell "insert" ins;
+          cell "search" srch)
+        [
+          ("seqtree", seq_ins, seq_srch, seq_bytes);
+          ("subtrie", sub_ins, sub_srch, sub_bytes);
+        ];
       print_row ~w:13
         [
           string_of_int slots;

@@ -43,7 +43,23 @@ let run () =
     List.map
       (fun slots ->
         ( slots,
-          List.map (fun s -> bench ~keys ~load ~slots ~breathing:s) breathing_values ))
+          List.map
+            (fun s ->
+              let ((ins, srch, bytes) as r) = bench ~keys ~load ~slots ~breathing:s in
+              let cell phase m =
+                emit_mops ~name:"fig11"
+                  ~params:
+                    [
+                      ("slots", string_of_int slots);
+                      ("breathing", string_of_int s);
+                      ("phase", phase);
+                    ]
+                  ~mops:m ~bytes
+              in
+              cell "insert" ins;
+              cell "search" srch;
+              r)
+            breathing_values ))
       slot_values
   in
   let print_grid title get =

@@ -135,6 +135,25 @@ let run_keylen ~key_len ~detail =
       (fun (label, kind) -> run_one ~key_len ~keys ~load ~lookups ~scans kind label)
       runs
   in
+  (* Record each index at peak size (end of the insertion phase). *)
+  let peak = chunks - 1 in
+  List.iter
+    (fun s ->
+      let bytes = int_of_float (s.mem_mb.(peak) *. 1024. *. 1024.) in
+      let cell phase m =
+        emit_mops ~name:"fig5"
+          ~params:
+            [
+              ("index", s.label);
+              ("key_len", string_of_int key_len);
+              ("phase", phase);
+            ]
+          ~mops:m ~bytes
+      in
+      cell "scan" s.scan_mops.(peak);
+      cell "lookup" s.lookup_mops.(peak);
+      cell "insert" s.insert_mops.(peak))
+    all;
   if detail then begin
     print_table "5a: scan throughput (Mops, scan = 15 keys)" all (fun s p ->
         s.scan_mops.(p));

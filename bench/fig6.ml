@@ -67,6 +67,9 @@ let run () =
             mb bytes;
             f2 (float_of_int bytes /. float_of_int stx_bytes);
           ];
+        emit_mops ~name:"fig6"
+          ~params:[ ("index", label); ("phase", "load") ]
+          ~mops:tput ~bytes;
         (label, kind, bytes))
       kinds
   in
@@ -87,12 +90,20 @@ let run () =
           let cells =
             List.map
               (fun (w, wops) ->
-                let runner, _ = fresh kind ~record_count in
+                let runner, index = fresh kind ~record_count in
                 Ycsb.load runner record_count;
                 let tput =
                   mops wops (fun () ->
                       ignore (Ycsb.run runner ~workload:w ~dist ~ops:wops))
                 in
+                emit_mops ~name:"fig6"
+                  ~params:
+                    [
+                      ("index", label);
+                      ("dist", dist_label);
+                      ("workload", Ycsb.workload_name w);
+                    ]
+                  ~mops:tput ~bytes:(index.Index_ops.memory_bytes ());
                 f3 tput)
               workloads
           in

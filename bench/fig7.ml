@@ -27,7 +27,10 @@ let run_7a record_count =
       Ei_workload.Ycsb.load runner record_count;
       let bytes = index.Index_ops.memory_bytes () in
       print_row
-        [ label; mb bytes; f2 (float_of_int bytes /. float_of_int stx_bytes) ])
+        [ label; mb bytes; f2 (float_of_int bytes /. float_of_int stx_bytes) ];
+      emit ~name:"fig7"
+        ~params:[ ("index", label); ("phase", "mem") ]
+        ~ops_per_sec:0.0 ~bytes)
     (Fig6.index_kinds ~stx_bytes)
 
 let mk_olc kind ~record_count =
@@ -88,12 +91,20 @@ let run_7bc record_count =
             let zipf = Ei_util.Zipf.create ~scramble:true record_count in
             let tput =
               parallel_mops t per_thread (fun d ->
-                  let rng = Rng.create (1000 + d) in
+                  let rng = domain_rng d in
                   for _ = 1 to per_thread do
                     let seq = Ei_util.Zipf.next zipf rng mod record_count in
                     ignore (Olc.find tree (Ycsb.key_of_seq seq))
                   done)
             in
+            emit_mops ~name:"fig7"
+              ~params:
+                [
+                  ("index", label);
+                  ("threads", string_of_int t);
+                  ("phase", "read");
+                ]
+              ~mops:tput ~bytes:(Olc.memory_bytes tree);
             f3 tput)
           thread_counts
       in
@@ -120,6 +131,14 @@ let run_7bc record_count =
                     ignore (Olc.insert tree keys.(i) tids.(i))
                   done)
             in
+            emit_mops ~name:"fig7"
+              ~params:
+                [
+                  ("index", label);
+                  ("threads", string_of_int t);
+                  ("phase", "insert");
+                ]
+              ~mops:tput ~bytes:(Olc.memory_bytes tree);
             f3 tput)
           thread_counts
       in

@@ -70,6 +70,17 @@ let run () =
       in
       let bytes = Ei_mcas.Store.ado_memory_bytes store ~partition:0 in
       if label = "stx" then stx_mem := bytes;
+      let cell phase m =
+        emit_mops ~name:"fig8"
+          ~params:[ ("index", label); ("phase", phase) ]
+          ~mops:m ~bytes
+      in
+      cell "insert" ins;
+      cell "lookup" lkp;
+      emit ~name:"fig8"
+        ~params:[ ("index", label); ("phase", "scan1000") ]
+        ~ops_per_sec:(float_of_int scans /. scan_dt)
+        ~bytes;
       print_row ~w:14
         [
           label;

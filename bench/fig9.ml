@@ -51,7 +51,22 @@ let run () =
         ( slots,
           List.map
             (fun lvl ->
-              if lvl <= max_levels slots then Some (bench_one ~keys ~load ~slots ~levels:lvl)
+              if lvl <= max_levels slots then begin
+                let ((ins, srch) as r) = bench_one ~keys ~load ~slots ~levels:lvl in
+                let cell phase m =
+                  emit_mops ~name:"fig9"
+                    ~params:
+                      [
+                        ("slots", string_of_int slots);
+                        ("levels", string_of_int lvl);
+                        ("phase", phase);
+                      ]
+                    ~mops:m ~bytes:0
+                in
+                cell "insert" ins;
+                cell "search" srch;
+                Some r
+              end
               else None)
             all_levels ))
       slot_values

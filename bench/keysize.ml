@@ -52,6 +52,19 @@ let run () =
              (Registry.Elastic (Ei_core.Elasticity.default_config ~size_bound:budget)))
           keys ~budget
       in
+      let record index keys_stored =
+        emit ~name:"keysize"
+          ~params:
+            [
+              ("index", index);
+              ("key_len", string_of_int key_len);
+              ("keys", string_of_int keys_stored);
+            ]
+          ~ops_per_sec:0.0 ~bytes:budget
+      in
+      record "stx" base_n;
+      record "seqtree128" compact;
+      record "elastic" elastic;
       print_row ~w:12
         [
           string_of_int key_len;

@@ -20,6 +20,8 @@ let experiments =
     ("fig9", Fig9.run);
     ("fig10", Fig10.run);
     ("fig11", Fig11.run);
+    ("fig6_par", Fig6_par.run);
+    ("fig7_par", Fig7_par.run);
     ("cost", Cost.run);
     ("keysize", Keysize.run);
     ("ablation", Ablation.run);
@@ -32,8 +34,9 @@ let () =
     | _ :: (_ :: _ as names) -> names
     | _ -> List.map fst experiments
   in
-  Printf.printf "elastic-indexes benchmark suite (EI_SCALE=%.2f)\n%!"
-    Bench_util.scale;
+  Printf.printf "elastic-indexes benchmark suite (EI_SCALE=%.2f, EI_SEED=%d)\n%!"
+    Bench_util.scale Bench_util.seed;
+  Bench_util.reset_results ();
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with

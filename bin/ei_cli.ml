@@ -7,12 +7,15 @@
      volumes — print the Fig-1 style daily-volume model
      check  — churn an index with random mutations and run the deep
               invariant sanitizer ({!Ei_check.Check}) over it
+     serve  — run a sharded elastic fleet ({!Ei_shard.Serve}) with the
+              global memory coordinator under a YCSB-style load
 
    Examples:
      ei ycsb --index elastic --workload E --records 50000 --ops 100000
      ei trace --index elastic50 --rows 200000
      ei volumes --days 90
-     ei check --index elastic40 --ops 200000 --strict *)
+     ei check --index elastic40 --ops 200000 --strict
+     ei serve --shards 4 --records 100000 --ops 200000 --bound 60 *)
 
 open Cmdliner
 
@@ -243,6 +246,119 @@ let check_cmd =
        ~doc:"Churn an index with random mutations and run the deep invariant sanitizer.")
     term
 
+(* --- serve -------------------------------------------------------------- *)
+
+let serve_cmd =
+  let module Olc = Ei_olc.Btree_olc in
+  let module Shard = Ei_shard.Shard in
+  let module Serve = Ei_shard.Serve in
+  let shards_arg =
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Shard domains to spawn.")
+  in
+  let records_arg =
+    Arg.(value & opt int 100_000 & info [ "records" ] ~doc:"Records to load.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 200_000
+         & info [ "ops" ] ~doc:"Read and churn operations per phase.")
+  in
+  let bound_arg =
+    Arg.(value & opt int 60
+         & info [ "bound" ]
+             ~doc:"Global soft memory bound as a percentage of the \
+                   unconstrained BTreeOLC estimate for the load.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed for the workload.")
+  in
+  let run shards records ops pct seed =
+    if shards < 1 then begin prerr_endline "need at least one shard"; exit 2 end;
+    let global_bound = records * 27 * pct / 100 in
+    let table = Table.create ~key_len:8 () in
+    let load =
+      Olc.safe_loader ~key_len:8
+        ~table_length:(fun () -> Table.length table)
+        ~load:(Table.loader table)
+    in
+    let parts =
+      Array.init shards (fun i ->
+          Registry.make
+            ~name:(Printf.sprintf "olc-elastic/%d" i)
+            ~key_len:8 ~load
+            (Registry.Olc
+               (Olc.Olc_elastic
+                  (Olc.default_elastic_config
+                     ~size_bound:(max 1 (global_bound / shards))))))
+    in
+    let router = Shard.create parts in
+    let serve =
+      Serve.start ~coordinator:(Serve.default_coordinator ~global_bound) router
+    in
+    let batched a =
+      let n = Array.length a in
+      let i = ref 0 in
+      while !i < n do
+        let len = min 512 (n - !i) in
+        ignore (Serve.exec serve (Array.sub a !i len));
+        i := !i + len
+      done
+    in
+    let tids = Array.make records 0 in
+    for s = 0 to records - 1 do
+      tids.(s) <- Table.append table (Ycsb.key_of_seq s)
+    done;
+    let (), load_dt =
+      Clock.time (fun () ->
+          batched
+            (Array.init records (fun s ->
+                 Ei_shard.Serve.Insert (Ycsb.key_of_seq s, tids.(s)))))
+    in
+    Printf.printf "%d shard domain(s) + coordinator; global bound %.1f MiB\n"
+      shards (Clock.mib global_bound);
+    Printf.printf "load   %8d ops  %6.2f Mops\n" records
+      (Clock.mops records load_dt);
+    let rng = Ei_util.Rng.stream seed 0 in
+    let (), read_dt =
+      Clock.time (fun () ->
+          batched
+            (Array.init ops (fun _ ->
+                 Serve.Find (Ycsb.key_of_seq (Ei_util.Rng.int rng records)))))
+    in
+    Printf.printf "read   %8d ops  %6.2f Mops\n" ops (Clock.mops ops read_dt);
+    (* Churn: reads plus in-place updates (a tid of the same key). *)
+    let (), churn_dt =
+      Clock.time (fun () ->
+          batched
+            (Array.init ops (fun _ ->
+                 let s = Ei_util.Rng.int rng records in
+                 if Ei_util.Rng.int rng 2 = 0 then
+                   Serve.Find (Ycsb.key_of_seq s)
+                 else Serve.Update (Ycsb.key_of_seq s, tids.(s)))))
+    in
+    Printf.printf "churn  %8d ops  %6.2f Mops\n" ops (Clock.mops ops churn_dt);
+    Serve.rebalance_now serve;
+    let sizes = Serve.shard_sizes serve in
+    let agg = Array.fold_left ( + ) 0 sizes in
+    Array.iteri
+      (fun i b ->
+        Printf.printf "shard %d: %7.2f MiB  %s\n" i (Clock.mib b)
+          ((Shard.parts router).(i).Index_ops.info ()))
+      sizes;
+    Printf.printf
+      "aggregate %.2f MiB / bound %.2f MiB (%.2fx), %d coordinator pass(es)\n"
+      (Clock.mib agg) (Clock.mib global_bound)
+      (float_of_int agg /. float_of_int global_bound)
+      (Serve.rebalances serve);
+    Serve.stop serve
+  in
+  let term =
+    Term.(const run $ shards_arg $ records_arg $ ops_arg $ bound_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run a sharded elastic fleet with the global memory coordinator.")
+    term
+
 (* --- volumes ----------------------------------------------------------- *)
 
 let volumes_cmd =
@@ -261,4 +377,6 @@ let () =
     Cmd.info "ei" ~version:"1.0.0"
       ~doc:"Elastic indexes: dynamic space vs. query efficiency tuning."
   in
-  exit (Cmd.eval (Cmd.group info [ ycsb_cmd; trace_cmd; volumes_cmd; check_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ ycsb_cmd; trace_cmd; volumes_cmd; check_cmd; serve_cmd ]))

@@ -69,7 +69,7 @@ let find_predecessors t key update =
   for i = t.level - 1 downto 0 do
     let rec advance () =
       match !x.forward.(i) with
-      | Some nxt when Key.compare nxt.key key < 0 ->
+      | Some nxt when Key.compare_fast nxt.key key < 0 ->
         x := nxt;
         advance ()
       | Some _ | None -> ()

@@ -148,7 +148,7 @@ let child_index nd key =
   let lo = ref 0 and hi = ref nd.n in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    if Key.compare nd.keys.(mid) key <= 0 then lo := mid + 1 else hi := mid
+    if Key.compare_fast nd.keys.(mid) key <= 0 then lo := mid + 1 else hi := mid
   done;
   !lo
 
@@ -264,7 +264,7 @@ let rec descend_mutate t node key ~(on_leaf : Leaf.t -> leaf_outcome) :
           let lo = ref 0 and hi = ref !count in
           while !lo < !hi do
             let mid = (!lo + !hi) / 2 in
-            if Key.compare keys.(mid) sep <= 0 then lo := mid + 1 else hi := mid
+            if Key.compare_fast keys.(mid) sep <= 0 then lo := mid + 1 else hi := mid
           done;
           let pos = !lo in
           Array.blit keys pos keys (pos + 1) (!count - pos);
@@ -310,7 +310,7 @@ let rec insert_into_leaf t ?(pending = []) leaf key tid =
       insert_into_leaf t ~pending leaf key tid
     | Policy.Split spec ->
       let sep, right = split_leaf t leaf spec in
-      let target = if Key.compare key sep < 0 then leaf else right in
+      let target = if Key.compare_fast key sep < 0 then leaf else right in
       insert_into_leaf t ~pending:((sep, Leaf_node right) :: pending) target key tid)
 
 let grow_root t outcome =

@@ -32,7 +32,7 @@ let locate t key =
   let res = ref (-1) in
   while !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
-    let c = Ei_util.Key.compare t.keys.(mid) key in
+    let c = Ei_util.Key.compare_fast t.keys.(mid) key in
     if c = 0 then begin
       res := mid;
       lo := !hi + 1 (* terminate *)

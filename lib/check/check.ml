@@ -34,6 +34,7 @@ module Elastic_skiplist = Ei_core.Elastic_skiplist
 module Skiplist = Ei_baselines.Skiplist
 module Radix = Ei_baselines.Radix
 module Hybrid = Ei_baselines.Hybrid
+module Btree_olc = Ei_olc.Btree_olc
 module Index_ops = Ei_harness.Index_ops
 
 type severity = Error | Advisory
@@ -438,6 +439,53 @@ let check_elastic_skiplist_ctx ctx (esl : Elastic_skiplist.t) =
        None)
 
 (* ------------------------------------------------------------------ *)
+(* BTreeOLC: structure, and for the elastic variant the shared atomic   *)
+(* accounting vs a recomputed walk.  Single-threaded, like every other  *)
+(* validator: quiesce the domains first.                                *)
+
+let check_olc_ctx ?(strict = false) ctx (tree : Btree_olc.t) =
+  let v = "olc" in
+  guard ctx v (fun () -> Btree_olc.check_invariants tree);
+  let compact_sum =
+    Btree_olc.fold_leaves tree
+      (fun compacts ~compact ~capacity ~count ~bytes:_ ->
+        (match Btree_olc.elastic_config tree with
+        | Some cfg when compact ->
+          let std = Btree_olc.leaf_capacity tree in
+          if
+            not
+              (legal_compact_capacity ~std
+                 ~initial:cfg.Btree_olc.initial_compact_capacity
+                 ~max_cap:cfg.Btree_olc.max_compact_capacity capacity)
+          then
+            fail ctx "elasticity"
+              "compact capacity %d unreachable from %d (std %d, max %d)"
+              capacity cfg.Btree_olc.initial_compact_capacity std
+              cfg.Btree_olc.max_compact_capacity;
+          if count < (capacity / 2) + 1 then
+            emit ctx "occupancy"
+              (if strict then Error else Advisory)
+              "compact capacity %d holds %d keys (< %d)" capacity count
+              ((capacity / 2) + 1)
+        | Some _ | None -> ());
+        compacts + if compact then 1 else 0)
+      0
+  in
+  match Btree_olc.elastic_config tree with
+  | None -> ()
+  | Some _ ->
+    (* The atomic tracker mirrors the full memory model (leaves plus
+       inner nodes accounted at splits) and must equal a fresh walk. *)
+    let tracked = Btree_olc.elastic_memory_bytes tree in
+    let walked = Btree_olc.memory_bytes tree in
+    if tracked <> walked then
+      fail ctx "tracker" "tracked %d bytes, recomputed %d" tracked walked;
+    let tracked_compact = Btree_olc.elastic_compact_leaves tree in
+    if tracked_compact <> compact_sum then
+      fail ctx "counters" "compact-leaf counter %d, found %d" tracked_compact
+        compact_sum
+
+(* ------------------------------------------------------------------ *)
 (* Closure-level checks (any backend) and dispatch.                    *)
 
 let check_generic_ctx ctx (ix : Index_ops.t) =
@@ -465,10 +513,8 @@ let check_generic_ctx ctx (ix : Index_ops.t) =
       if visited <> count || !seen <> count then
         fail ctx v "count %d but full scan visited %d" count visited)
 
-let run ?strict (ix : Index_ops.t) =
-  let ctx = new_ctx () in
-  check_generic_ctx ctx ix;
-  (match ix.Index_ops.backend with
+let rec check_backend_ctx ?strict ctx (ix : Index_ops.t) =
+  match ix.Index_ops.backend with
   | Index_ops.B_btree t -> check_btree_ctx ?strict ctx t
   | Index_ops.B_elastic t -> check_elastic_ctx ?strict ctx t
   | Index_ops.B_skiplist t -> check_skiplist_ctx ctx t
@@ -476,7 +522,34 @@ let run ?strict (ix : Index_ops.t) =
   | Index_ops.B_radix t ->
     guard ctx "radix" (fun () -> Radix.check_invariants t)
   | Index_ops.B_hybrid t ->
-    guard ctx "hybrid" (fun () -> Hybrid.check_invariants t));
+    guard ctx "hybrid" (fun () -> Hybrid.check_invariants t)
+  | Index_ops.B_olc t -> check_olc_ctx ?strict ctx t
+  | Index_ops.B_composite parts ->
+    (* A router: deep-validate every part, then reconcile the router's
+       aggregate bookkeeping against the sum of its parts. *)
+    Array.iter
+      (fun part ->
+        check_generic_ctx ctx part;
+        check_backend_ctx ?strict ctx part)
+      parts;
+    let total_count =
+      Array.fold_left (fun a p -> a + p.Index_ops.count ()) 0 parts
+    in
+    if total_count <> ix.Index_ops.count () then
+      fail ctx "composite" "router count %d, parts sum to %d"
+        (ix.Index_ops.count ()) total_count;
+    let total_bytes =
+      Array.fold_left (fun a p -> a + p.Index_ops.memory_bytes ()) 0 parts
+    in
+    if total_bytes <> ix.Index_ops.memory_bytes () then
+      fail ctx "composite" "router %d bytes, parts sum to %d"
+        (ix.Index_ops.memory_bytes ())
+        total_bytes
+
+let run ?strict (ix : Index_ops.t) =
+  let ctx = new_ctx () in
+  check_generic_ctx ctx ix;
+  check_backend_ctx ?strict ctx ix;
   { index = ix.Index_ops.name; ops_seen = 0; findings = findings ctx }
 
 (* Structure-specific entry points. *)
@@ -493,6 +566,7 @@ let check_seqtree ~load seg =
 let check_skiplist sl = in_ctx (fun ctx -> check_skiplist_ctx ctx sl)
 let check_elastic_skiplist esl =
   in_ctx (fun ctx -> check_elastic_skiplist_ctx ctx esl)
+let check_olc ?strict tree = in_ctx (fun ctx -> check_olc_ctx ?strict ctx tree)
 
 (* ------------------------------------------------------------------ *)
 (* Property-test hook: sanitize every N mutating operations.           *)

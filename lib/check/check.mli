@@ -53,6 +53,11 @@ val check_seqtree :
 val check_skiplist : Ei_baselines.Skiplist.t -> finding list
 val check_elastic_skiplist : Ei_core.Elastic_skiplist.t -> finding list
 
+val check_olc : ?strict:bool -> Ei_olc.Btree_olc.t -> finding list
+(** BTreeOLC structure plus, for the elastic variant, the shared atomic
+    size/state accounting against a recomputed walk.  Single-threaded:
+    quiesce all mutator domains first. *)
+
 val wrap :
   ?strict:bool ->
   every:int ->

@@ -12,7 +12,7 @@ module Btree = Ei_btree.Btree
 type t = {
   tree : Btree.t;
   elasticity : Elasticity.t;
-  config : Elasticity.config;
+  mutable config : Elasticity.config;
   mutable ops : int;  (* operation counter driving cold sweeps *)
 }
 
@@ -80,3 +80,11 @@ let tree t = t.tree
 
 let key_len t = Btree.key_len t.tree
 let check_invariants t = Btree.check_invariants t.tree
+
+let size_bound t = t.config.Elasticity.size_bound
+
+(* Both the state machine's copy of the config and ours must move, or
+   cold sweeps would keep firing against the stale bound. *)
+let set_size_bound t bound =
+  Elasticity.set_size_bound t.elasticity bound;
+  t.config <- { t.config with Elasticity.size_bound = bound }

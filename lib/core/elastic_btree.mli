@@ -60,6 +60,14 @@ val config : t -> Elasticity.config
 val std_capacity : t -> int
 (** Standard-leaf capacity of the underlying tree. *)
 
+val size_bound : t -> int
+(** The current soft size bound in bytes. *)
+
+val set_size_bound : t -> int -> unit
+(** Retune the soft size bound on the live tree (see
+    {!Elasticity.set_size_bound}): the lever a global memory coordinator
+    pulls to rebalance one budget across many trees. *)
+
 val tree : t -> Ei_btree.Btree.t
 (** The underlying B+-tree (for inspection). *)
 

@@ -63,7 +63,8 @@ let default_config ~size_bound =
 
 type t = {
   key_len : int;
-  config : config;
+  mutable config : config;
+  (* mutable so a coordinator can retune [size_bound] on a live list *)
   load : int -> string;
   rng : Rng.t;
   head : node;
@@ -116,6 +117,11 @@ let memory_bytes t = t.bytes
 let segments t = t.segments
 let state t = t.state
 let config t = t.config
+let size_bound t = t.config.size_bound
+
+let set_size_bound t bound =
+  assert (bound > 0);
+  t.config <- { t.config with size_bound = bound }
 let load t = t.load
 
 (* Walk the level-0 payloads in key order (sanitizer support). *)

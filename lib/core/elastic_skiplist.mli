@@ -55,6 +55,12 @@ val conversions : t -> int
 val config : t -> config
 (** The configuration driving this list (sanitizer support). *)
 
+val size_bound : t -> int
+(** The current soft size bound in bytes. *)
+
+val set_size_bound : t -> int -> unit
+(** Retune the soft size bound on the live list (coordinator lever). *)
+
 val load : t -> int -> string
 (** The base-table load closure the list was created with. *)
 

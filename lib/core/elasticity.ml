@@ -66,7 +66,8 @@ let default_config ~size_bound =
   }
 
 type t = {
-  config : config;
+  mutable config : config;
+  (* mutable so a coordinator can retune [size_bound] on a live index *)
   std_capacity : int;
   rng : Ei_util.Rng.t;
   mutable state : state;
@@ -98,6 +99,14 @@ let create ~std_capacity config =
 
 let state t = t.state
 let transitions t = t.transitions
+let size_bound t = t.config.size_bound
+
+(* Retune the soft bound on a live index.  The next [update] call sees
+   the new thresholds, so the state machine reacts on the following
+   structure-modification event — no eager reorganisation. *)
+let set_size_bound t bound =
+  assert (bound > 0);
+  t.config <- { t.config with size_bound = bound }
 
 let shrink_at t =
   int_of_float (t.config.shrink_fraction *. float_of_int t.config.size_bound)

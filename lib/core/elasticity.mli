@@ -52,6 +52,14 @@ val state : t -> state
 val transitions : t -> int
 (** Number of state transitions so far. *)
 
+val size_bound : t -> int
+(** The current soft bound in bytes. *)
+
+val set_size_bound : t -> int -> unit
+(** Retune the soft bound on a live policy (the elastic memory
+    coordinator's lever).  Takes effect at the next state-machine
+    consultation; requires a positive bound. *)
+
 val policy : t -> Ei_btree.Policy.t
 (** The leaf policy implementing the algorithm, to plug into
     {!Ei_btree.Btree.create}. *)

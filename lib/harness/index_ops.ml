@@ -11,8 +11,12 @@ type backend =
   | B_skiplist of Ei_baselines.Skiplist.t
   | B_hybrid of Ei_baselines.Hybrid.t
   | B_elastic_skiplist of Ei_core.Elastic_skiplist.t
+  | B_olc of Ei_olc.Btree_olc.t
+  | B_composite of t array
+    (* a router composed over sub-indexes (e.g. the shard fleet);
+       validators recurse into the parts *)
 
-type t = {
+and t = {
   name : string;
   backend : backend;
   key_len : int;  (* length in bytes of every key the index accepts *)
@@ -29,8 +33,13 @@ type t = {
      included-column query path of §2 (results computed from key bytes) *)
   memory_bytes : unit -> int;
   count : unit -> int;
+  set_size_bound : int -> unit;
+  (* retune the elastic soft bound on a live index; no-op for inelastic
+     indexes — the uniform lever the global memory coordinator pulls *)
   info : unit -> string;  (* index-specific status, e.g. elastic state *)
 }
+
+let no_size_bound (_ : int) = ()
 
 let checksum = ref 0
 (* Scanned keys are folded into this sink so the compiler cannot elide
@@ -61,6 +70,7 @@ let of_btree name (tree : Ei_btree.Btree.t) =
           0);
     memory_bytes = (fun () -> Ei_btree.Btree.memory_bytes tree);
     count = (fun () -> Ei_btree.Btree.count tree);
+    set_size_bound = no_size_bound;
     info = (fun () -> "");
   }
 
@@ -89,6 +99,7 @@ let of_elastic name (tree : Ei_core.Elastic_btree.t) =
           0);
     memory_bytes = (fun () -> Ei_core.Elastic_btree.memory_bytes tree);
     count = (fun () -> Ei_core.Elastic_btree.count tree);
+    set_size_bound = Ei_core.Elastic_btree.set_size_bound tree;
     info =
       (fun () ->
         Ei_core.Elasticity.state_name (Ei_core.Elastic_btree.state tree));
@@ -119,6 +130,7 @@ let of_radix name (tree : Ei_baselines.Radix.t) =
           0);
     memory_bytes = (fun () -> Ei_baselines.Radix.memory_bytes tree);
     count = (fun () -> Ei_baselines.Radix.count tree);
+    set_size_bound = no_size_bound;
     info = (fun () -> "");
   }
 
@@ -147,6 +159,7 @@ let of_elastic_skiplist name (tree : Ei_core.Elastic_skiplist.t) =
           0);
     memory_bytes = (fun () -> Ei_core.Elastic_skiplist.memory_bytes tree);
     count = (fun () -> Ei_core.Elastic_skiplist.count tree);
+    set_size_bound = Ei_core.Elastic_skiplist.set_size_bound tree;
     info =
       (fun () ->
         Ei_core.Elastic_skiplist.state_name (Ei_core.Elastic_skiplist.state tree));
@@ -177,6 +190,7 @@ let of_hybrid name (tree : Ei_baselines.Hybrid.t) =
           0);
     memory_bytes = (fun () -> Ei_baselines.Hybrid.memory_bytes tree);
     count = (fun () -> Ei_baselines.Hybrid.count tree);
+    set_size_bound = no_size_bound;
     info =
       (fun () ->
         Printf.sprintf "%d merges"
@@ -208,5 +222,49 @@ let of_skiplist name (tree : Ei_baselines.Skiplist.t) =
           0);
     memory_bytes = (fun () -> Ei_baselines.Skiplist.memory_bytes tree);
     count = (fun () -> Ei_baselines.Skiplist.count tree);
+    set_size_bound = no_size_bound;
     info = (fun () -> "");
+  }
+
+let of_olc name (tree : Ei_olc.Btree_olc.t) =
+  let module Olc = Ei_olc.Btree_olc in
+  let elastic = not (String.equal (Olc.elastic_state_name tree) "") in
+  {
+    name;
+    backend = B_olc tree;
+    key_len = Olc.key_len tree;
+    insert = Olc.insert tree;
+    remove = Olc.remove tree;
+    update = Olc.update tree;
+    find = Olc.find tree;
+    scan =
+      (fun start n ->
+        Olc.fold_range tree ~start ~n
+          (fun acc k _ ->
+            checksum := !checksum lxor Char.code (String.unsafe_get k 0);
+            acc + 1)
+          0);
+    scan_keys =
+      (fun start n visit ->
+        Olc.fold_range tree ~start ~n
+          (fun acc k _ ->
+            visit k;
+            acc + 1)
+          0);
+    memory_bytes =
+      (* the elastic tracker is the only size that is safe to read while
+         other domains mutate; [Olc.memory_bytes] is a full traversal *)
+      (fun () ->
+        if elastic then Olc.elastic_memory_bytes tree
+        else Olc.memory_bytes tree);
+    count = (fun () -> Olc.count tree);
+    set_size_bound = Olc.set_size_bound tree;
+    info =
+      (fun () ->
+        if elastic then
+          Printf.sprintf "%s, %d compact, %d conversions"
+            (Olc.elastic_state_name tree)
+            (Olc.elastic_compact_leaves tree)
+            (Olc.elastic_conversions tree)
+        else "");
   }

@@ -11,8 +11,12 @@ type backend =
   | B_skiplist of Ei_baselines.Skiplist.t
   | B_hybrid of Ei_baselines.Hybrid.t
   | B_elastic_skiplist of Ei_core.Elastic_skiplist.t
+  | B_olc of Ei_olc.Btree_olc.t
+  | B_composite of t array
+      (** a router composed over sub-indexes (e.g. the shard fleet);
+          validators recurse into the parts *)
 
-type t = {
+and t = {
   name : string;
   backend : backend;
   key_len : int;  (** length in bytes of every key the index accepts *)
@@ -29,8 +33,15 @@ type t = {
           included-column query path of §2 *)
   memory_bytes : unit -> int;
   count : unit -> int;
+  set_size_bound : int -> unit;
+      (** retune the elastic soft bound on a live index; no-op for
+          inelastic indexes — the uniform lever the global memory
+          coordinator pulls *)
   info : unit -> string;  (** index-specific status, e.g. elastic state *)
 }
+
+val no_size_bound : int -> unit
+(** The no-op [set_size_bound] for inelastic indexes. *)
 
 val checksum : int ref
 (** Sink for scanned key bytes (prevents dead-code elimination). *)
@@ -41,3 +52,8 @@ val of_radix : string -> Ei_baselines.Radix.t -> t
 val of_skiplist : string -> Ei_baselines.Skiplist.t -> t
 val of_hybrid : string -> Ei_baselines.Hybrid.t -> t
 val of_elastic_skiplist : string -> Ei_core.Elastic_skiplist.t -> t
+
+val of_olc : string -> Ei_olc.Btree_olc.t -> t
+(** The OLC tree behind the uniform interface.  [memory_bytes] reports
+    the atomically tracked size for elastic trees (safe under
+    concurrency) and falls back to a full traversal otherwise. *)

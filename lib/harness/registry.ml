@@ -16,6 +16,7 @@ type kind =
   | Skiplist
   | Hybrid of float  (* two-stage hybrid index with this merge ratio *)
   | Elastic_skiplist of Ei_core.Elastic_skiplist.config
+  | Olc of Ei_olc.Btree_olc.leaf_kind
 
 let kind_name = function
   | Stx -> "stx"
@@ -30,6 +31,9 @@ let kind_name = function
   | Skiplist -> "skiplist"
   | Hybrid _ -> "hybrid"
   | Elastic_skiplist _ -> "elastic-skiplist"
+  | Olc Ei_olc.Btree_olc.Olc_std -> "olc"
+  | Olc (Ei_olc.Btree_olc.Olc_seqtree _) -> "olc-seqtree"
+  | Olc (Ei_olc.Btree_olc.Olc_elastic _) -> "olc-elastic"
 
 let make ?name ?(leaf_capacity = 16) ~key_len ~load kind =
   let name = match name with Some n -> n | None -> kind_name kind in
@@ -79,3 +83,8 @@ let make ?name ?(leaf_capacity = 16) ~key_len ~load kind =
   | Elastic_skiplist config ->
     Index_ops.of_elastic_skiplist name
       (Ei_core.Elastic_skiplist.create ~key_len ~load config ())
+  | Olc kind ->
+    (* Concurrent use with compact leaves needs a torn-read-proof loader:
+       pass [Btree_olc.safe_loader] as [load]. *)
+    Index_ops.of_olc name
+      (Ei_olc.Btree_olc.create ~leaf_capacity ~kind ~key_len ~load ())

@@ -16,6 +16,10 @@ type kind =
                                                with this merge ratio *)
   | Elastic_skiplist of Ei_core.Elastic_skiplist.config
                                            (** the framework on a skip list *)
+  | Olc of Ei_olc.Btree_olc.leaf_kind
+      (** BTreeOLC (§6.2): standard, compact or elastic leaves.  For
+          concurrent use with compact leaves pass
+          {!Ei_olc.Btree_olc.safe_loader} as [load]. *)
 
 val kind_name : kind -> string
 

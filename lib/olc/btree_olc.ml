@@ -48,6 +48,27 @@ let write_unlock a = Atomic.set a ((Atomic.get a lxor 1) + 2)
 (* Release a write lock without a version bump (nothing was modified). *)
 let write_abort a = Atomic.set a (Atomic.get a lxor 1)
 
+(* Run [f] with [a] write-locked by the caller.  A non-[Restart]
+   exception inside a critical section is a genuine broken invariant —
+   the node is private while locked, so there is no torn read to excuse
+   it: release the lock with a version bump (the mutation may be
+   partial) and re-raise as {!Invariant.Broken}, which [with_restart]
+   does not swallow.  Without this, the leaked lock wedges every later
+   operation that spins in [read_lock] on the node. *)
+let critical a f =
+  try f () with
+  | Restart ->
+    write_abort a;
+    raise Restart
+  | Invariant.Broken _ as e ->
+    write_unlock a;
+    raise e
+  | e ->
+    write_unlock a;
+    raise
+      (Invariant.Broken
+         ("Btree_olc: exception in locked section: " ^ Printexc.to_string e))
+
 (* --- Structure ------------------------------------------------------ *)
 
 type leaf_repr = Lstd of Std_leaf.t | Lseq of Seqtree.t
@@ -103,6 +124,7 @@ let default_elastic_config ~size_bound =
 (* Concurrent elasticity state: 0 = normal, 1 = shrinking, 2 = expanding. *)
 type elastic_state = {
   cfg : elastic_config;
+  ebound : int Atomic.t;     (* live soft bound; coordinator-adjustable *)
   ebytes : int Atomic.t;
   ecompact : int Atomic.t;   (* number of compact leaves *)
   estate : int Atomic.t;
@@ -151,6 +173,7 @@ let create ?(leaf_capacity = 16) ?(inner_capacity = 16) ?(kind = Olc_std)
       Some
         {
           cfg;
+          ebound = Atomic.make cfg.size_bound;
           ebytes = Atomic.make 0;
           ecompact = Atomic.make 0;
           estate = Atomic.make 0;
@@ -194,11 +217,12 @@ let update_elastic_state t =
   | None -> ()
   | Some e ->
     let bytes = Atomic.get e.ebytes in
+    let bound = Atomic.get e.ebound in
     let shrink_at =
-      int_of_float (e.cfg.shrink_fraction *. float_of_int e.cfg.size_bound)
+      int_of_float (e.cfg.shrink_fraction *. float_of_int bound)
     in
     let expand_at =
-      int_of_float (e.cfg.expand_fraction *. float_of_int e.cfg.size_bound)
+      int_of_float (e.cfg.expand_fraction *. float_of_int bound)
     in
     (match Atomic.get e.estate with
     | 0 -> if bytes >= shrink_at then Atomic.set e.estate 1
@@ -209,6 +233,22 @@ let update_elastic_state t =
 
 let elastic_memory_bytes t =
   match t.elastic with Some e -> Atomic.get e.ebytes | None -> 0
+
+let elastic_size_bound t =
+  match t.elastic with Some e -> Atomic.get e.ebound | None -> 0
+
+(* Coordinator lever: retune the live soft bound and re-evaluate the
+   state machine immediately, so a starved tree starts shrinking without
+   waiting for its next structure modification.  Safe from any domain. *)
+let set_size_bound t bound =
+  match t.elastic with
+  | None -> ()
+  | Some e ->
+    assert (bound > 0);
+    Atomic.set e.ebound bound;
+    update_elastic_state t
+
+let key_len t = t.key_len
 
 let elastic_state_name t =
   match t.elastic with
@@ -305,13 +345,38 @@ let count t =
   in
   go t.root
 
+(* Single-threaded leaf walk for external validators: leaves in key
+   order with their representation snapshot. *)
+let fold_leaves t f acc =
+  let rec go acc = function
+    | Inner nd ->
+      let acc = ref acc in
+      for i = 0 to nd.n do
+        acc := go !acc nd.children.(i)
+      done;
+      !acc
+    | Leaf l ->
+      let compact, capacity =
+        match l.repr with
+        | Lstd x -> (false, Std_leaf.capacity x)
+        | Lseq x -> (true, Seqtree.capacity x)
+      in
+      f acc ~compact ~capacity ~count:(leaf_count l) ~bytes:(leaf_bytes l)
+  in
+  go acc t.root
+
+let leaf_capacity t = t.leaf_capacity
+
+let elastic_config t =
+  match t.elastic with Some e -> Some e.cfg | None -> None
+
 (* --- Descent helpers ------------------------------------------------ *)
 
 let child_index nd key =
   let lo = ref 0 and hi = ref nd.n in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    if Key.compare nd.keys.(mid) key <= 0 then lo := mid + 1 else hi := mid
+    if Key.compare_fast nd.keys.(mid) key <= 0 then lo := mid + 1 else hi := mid
   done;
   !lo
 
@@ -367,35 +432,36 @@ let inner_insert_at nd i sep child =
    write-locked by the caller.  The node itself is locked here. *)
 let split_child t ~parent ~node ~node_version:nv =
   upgrade_or_restart (node_version node) nv;
-  let sep, right =
-    match node with
-    | Leaf l -> split_leaf t l
-    | Inner nd ->
-      account t
-        (Ei_storage.Memmodel.inner_bytes ~capacity:t.inner_capacity
-           ~key_len:t.key_len);
-      split_inner t nd
-  in
-  (match parent with
-  | Some pnd -> inner_insert_at pnd (child_index pnd sep) sep right
-  | None ->
-    (* Growing the tree: new root above the old one. *)
-    let root =
-      {
-        iversion = Atomic.make 0;
-        n = 1;
-        keys = Array.make t.inner_capacity "";
-        children = Array.make (t.inner_capacity + 1) right;
-      }
-    in
-    root.keys.(0) <- sep;
-    root.children.(0) <- node;
-    root.children.(1) <- right;
-    account t
-      (Ei_storage.Memmodel.inner_bytes ~capacity:t.inner_capacity
-         ~key_len:t.key_len);
-    t.root <- Inner root);
-  update_elastic_state t;
+  critical (node_version node) (fun () ->
+      let sep, right =
+        match node with
+        | Leaf l -> split_leaf t l
+        | Inner nd ->
+          account t
+            (Ei_storage.Memmodel.inner_bytes ~capacity:t.inner_capacity
+               ~key_len:t.key_len);
+          split_inner t nd
+      in
+      (match parent with
+      | Some pnd -> inner_insert_at pnd (child_index pnd sep) sep right
+      | None ->
+        (* Growing the tree: new root above the old one. *)
+        let root =
+          {
+            iversion = Atomic.make 0;
+            n = 1;
+            keys = Array.make t.inner_capacity "";
+            children = Array.make (t.inner_capacity + 1) right;
+          }
+        in
+        root.keys.(0) <- sep;
+        root.children.(0) <- node;
+        root.children.(1) <- right;
+        account t
+          (Ei_storage.Memmodel.inner_bytes ~capacity:t.inner_capacity
+             ~key_len:t.key_len);
+        t.root <- Inner root);
+      update_elastic_state t);
   write_unlock (node_version node)
 
 (* Decide how an elastic tree handles a full leaf: convert in place
@@ -418,14 +484,16 @@ let elastic_overflow t node =
    then restart the caller's descent. *)
 let convert_full_leaf t node nv capacity =
   upgrade_or_restart (node_version node) nv;
-  (match node with
-  | Leaf l ->
-    (match t.elastic with
-    | Some e ->
-      convert_locked_leaf t l ~capacity ~levels:e.cfg.seq_levels
-        ~breathing:e.cfg.breathing
-    | None -> Invariant.impossible "Btree_olc.convert_full_leaf: no elastic config")
-  | Inner _ -> Invariant.impossible "Btree_olc.convert_full_leaf: inner node");
+  critical (node_version node) (fun () ->
+      match node with
+      | Leaf l -> (
+        match t.elastic with
+        | Some e ->
+          convert_locked_leaf t l ~capacity ~levels:e.cfg.seq_levels
+            ~breathing:e.cfg.breathing
+        | None ->
+          Invariant.impossible "Btree_olc.convert_full_leaf: no elastic config")
+      | Inner _ -> Invariant.impossible "Btree_olc.convert_full_leaf: inner node");
   write_unlock (node_version node);
   raise Restart
 
@@ -497,17 +565,21 @@ let insert t key tid =
         match node with
         | Leaf l ->
           upgrade_or_restart l.lversion nv;
-          let before = leaf_bytes l in
           let r =
-            match l.repr with
-            | Lstd x -> Std_leaf.insert x key tid
-            | Lseq x -> (
-              match Seqtree.insert x ~load:t.load key tid with
-              | Seqtree.Inserted -> Std_leaf.Inserted
-              | Seqtree.Full -> Std_leaf.Full
-              | Seqtree.Duplicate -> Std_leaf.Duplicate)
+            critical l.lversion (fun () ->
+                let before = leaf_bytes l in
+                let r =
+                  match l.repr with
+                  | Lstd x -> Std_leaf.insert x key tid
+                  | Lseq x -> (
+                    match Seqtree.insert x ~load:t.load key tid with
+                    | Seqtree.Inserted -> Std_leaf.Inserted
+                    | Seqtree.Full -> Std_leaf.Full
+                    | Seqtree.Duplicate -> Std_leaf.Duplicate)
+                in
+                account t (leaf_bytes l - before);
+                r)
           in
-          account t (leaf_bytes l - before);
           write_unlock l.lversion;
           (match r with
           | Std_leaf.Inserted -> true
@@ -553,33 +625,68 @@ let remove t key =
         match node with
         | Leaf l ->
           upgrade_or_restart l.lversion nv;
-          let before = leaf_bytes l in
           let r =
-            match l.repr with
-            | Lstd x -> (
-              match Std_leaf.remove x key with
-              | Std_leaf.Removed -> true
-              | Std_leaf.Not_present -> false)
-            | Lseq x -> (
-              match Seqtree.remove x ~load:t.load key with
-              | Seqtree.Removed -> true
-              | Seqtree.Not_present -> false)
+            critical l.lversion (fun () ->
+                let before = leaf_bytes l in
+                let r =
+                  match l.repr with
+                  | Lstd x -> (
+                    match Std_leaf.remove x key with
+                    | Std_leaf.Removed -> true
+                    | Std_leaf.Not_present -> false)
+                  | Lseq x -> (
+                    match Seqtree.remove x ~load:t.load key with
+                    | Seqtree.Removed -> true
+                    | Seqtree.Not_present -> false)
+                in
+                account t (leaf_bytes l - before);
+                (* Elastic underflow: a compact leaf below the §4
+                   invariant shrinks back down the capacity progression,
+                   while holding the write lock. *)
+                (match (t.elastic, l.repr) with
+                | Some e, Lseq x when r ->
+                  let c = Seqtree.capacity x in
+                  if Seqtree.count x < (c / 2) + 1 then begin
+                    let capacity =
+                      if c / 2 > t.leaf_capacity then c / 2 else 0
+                    in
+                    convert_locked_leaf t l
+                      ~capacity:(max capacity t.leaf_capacity)
+                      ~levels:e.cfg.seq_levels ~breathing:e.cfg.breathing
+                  end
+                | _ -> ());
+                update_elastic_state t;
+                r)
           in
-          account t (leaf_bytes l - before);
-          (* Elastic underflow: a compact leaf below the §4 invariant
-             shrinks back down the capacity progression, while holding
-             the write lock. *)
-          (match (t.elastic, l.repr) with
-          | Some e, Lseq x when r ->
-            let c = Seqtree.capacity x in
-            if Seqtree.count x < (c / 2) + 1 then begin
-              let capacity = if c / 2 > t.leaf_capacity then c / 2 else 0 in
-              convert_locked_leaf t l
-                ~capacity:(max capacity t.leaf_capacity)
-                ~levels:e.cfg.seq_levels ~breathing:e.cfg.breathing
-            end
-          | _ -> ());
-          update_elastic_state t;
+          write_unlock l.lversion;
+          r
+        | Inner nd ->
+          let i = child_index nd key in
+          let child = nd.children.(i) in
+          let cv = read_lock (node_version child) in
+          check nd.iversion nv;
+          go child cv
+      in
+      go node nv)
+
+(* In-place value overwrite: lock the leaf and replace the tid of an
+   existing key.  No size change, so no elastic accounting. *)
+let update t key tid =
+  with_restart (fun () ->
+      let rv = read_lock t.root_lock in
+      let node = t.root in
+      let nv = read_lock (node_version node) in
+      check t.root_lock rv;
+      let rec go node nv =
+        match node with
+        | Leaf l ->
+          upgrade_or_restart l.lversion nv;
+          let r =
+            critical l.lversion (fun () ->
+                match l.repr with
+                | Lstd x -> Std_leaf.update x key tid
+                | Lseq x -> Seqtree.update x ~load:t.load key tid)
+          in
           write_unlock l.lversion;
           r
         | Inner nd ->

@@ -34,6 +34,14 @@ val elastic_memory_bytes : t -> int
 (** Atomically tracked size (elastic trees only; 0 otherwise).  Safe to
     read under concurrency, unlike {!memory_bytes}. *)
 
+val elastic_size_bound : t -> int
+(** The live soft bound (elastic trees only; 0 otherwise). *)
+
+val set_size_bound : t -> int -> unit
+(** Retune the live soft bound (elastic trees only; no-op otherwise) and
+    re-evaluate the state machine.  Safe from any domain — this is the
+    lever the global memory coordinator pulls. *)
+
 val elastic_state_name : t -> string
 val elastic_compact_leaves : t -> int
 val elastic_conversions : t -> int
@@ -56,8 +64,13 @@ val create :
 
 val insert : t -> string -> int -> bool
 val remove : t -> string -> bool
+val update : t -> string -> int -> bool
+(** In-place value overwrite under the leaf's write lock; [false] if the
+    key is absent. *)
+
 val find : t -> string -> int option
 val mem : t -> string -> bool
+val key_len : t -> int
 
 val fold_range : t -> start:string -> n:int -> ('a -> string -> int -> 'a) -> 'a -> 'a
 (** Ordered scan: snapshots one leaf at a time under version validation,
@@ -68,6 +81,19 @@ val count : t -> int
 
 val memory_bytes : t -> int
 (** Size under the memory model; call without concurrent mutators. *)
+
+val fold_leaves :
+  t ->
+  ('a -> compact:bool -> capacity:int -> count:int -> bytes:int -> 'a) ->
+  'a ->
+  'a
+(** Leaves in key order with representation snapshots (sanitizer
+    support); call without concurrent mutators. *)
+
+val leaf_capacity : t -> int
+(** Standard-leaf capacity. *)
+
+val elastic_config : t -> elastic_config option
 
 val check_invariants : t -> unit
 (** Single-threaded structural check (no concurrent mutators). *)

@@ -1,0 +1,103 @@
+(* Bounded multi-producer single-consumer queue (Mutex + Condition).
+
+   The per-shard request queue of the serving layer: clients push
+   sub-batches, the shard's domain drains them in batches.  Producers
+   block while the queue is full (backpressure instead of unbounded
+   growth) and the consumer blocks while it is empty — blocking, not
+   spinning, because shard domains share cores with their clients and a
+   waiting party must get off the CPU. *)
+
+module Invariant = Ei_util.Invariant
+
+type 'a t = {
+  buf : 'a option array;  (* ring; [None] marks a free slot *)
+  capacity : int;
+  mutable head : int;  (* index of the oldest element *)
+  mutable len : int;
+  mutable closed : bool;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+}
+
+let create ~capacity =
+  assert (capacity > 0);
+  {
+    buf = Array.make capacity None;
+    capacity;
+    head = 0;
+    len = 0;
+    closed = false;
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+  }
+
+let push t x =
+  Mutex.lock t.lock;
+  let rec admitted () =
+    if t.closed then false
+    else if t.len = t.capacity then begin
+      Condition.wait t.not_full t.lock;
+      admitted ()
+    end
+    else true
+  in
+  let ok = admitted () in
+  if ok then begin
+    t.buf.((t.head + t.len) mod t.capacity) <- Some x;
+    t.len <- t.len + 1;
+    Condition.signal t.not_empty
+  end;
+  Mutex.unlock t.lock;
+  ok
+
+let pop_batch t ~max:m =
+  assert (m > 0);
+  Mutex.lock t.lock;
+  let rec available () =
+    if t.len > 0 then true
+    else if t.closed then false
+    else begin
+      Condition.wait t.not_empty t.lock;
+      available ()
+    end
+  in
+  let out =
+    if not (available ()) then []
+    else begin
+      let k = if t.len < m then t.len else m in
+      let rec take i acc =
+        if i = k then List.rev acc
+        else begin
+          let x =
+            match t.buf.(t.head) with
+            | Some x -> x
+            | None -> Invariant.impossible "Mpsc_queue: empty slot inside ring"
+          in
+          t.buf.(t.head) <- None;
+          t.head <- (t.head + 1) mod t.capacity;
+          take (i + 1) (x :: acc)
+        end
+      in
+      let xs = take 0 [] in
+      t.len <- t.len - k;
+      Condition.broadcast t.not_full;
+      xs
+    end
+  in
+  Mutex.unlock t.lock;
+  out
+
+let close t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.lock
+
+let length t =
+  Mutex.lock t.lock;
+  let n = t.len in
+  Mutex.unlock t.lock;
+  n

@@ -1,0 +1,27 @@
+(** Bounded multi-producer single-consumer queue (blocking, batched).
+
+    The per-shard request queue of the serving layer.  Producers block
+    while the queue is full (backpressure), the consumer blocks while it
+    is empty and drains in batches. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** A queue holding up to [capacity] elements; requires
+    [capacity > 0]. *)
+
+val push : 'a t -> 'a -> bool
+(** Enqueue, blocking while the queue is full.  [false] iff the queue
+    was closed (the element was not enqueued). *)
+
+val pop_batch : 'a t -> max:int -> 'a list
+(** Dequeue up to [max] elements in FIFO order, blocking while the
+    queue is empty.  [[]] iff the queue is closed and fully drained —
+    the consumer's termination signal. *)
+
+val close : 'a t -> unit
+(** Reject future pushes and wake all waiters; queued elements remain
+    poppable. *)
+
+val length : 'a t -> int
+(** Current number of queued elements (racy under concurrency). *)

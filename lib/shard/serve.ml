@@ -1,0 +1,365 @@
+(* Domain-per-shard serving layer with a global elastic memory
+   coordinator.
+
+   Each shard of a {!Shard.t} is owned by exactly one domain, which
+   drains a bounded MPSC request queue in batches and applies the
+   operations to its part — exclusive ownership makes every sequential
+   registry index domain-safe behind the queue, with no locks on the
+   index itself.  Clients partition an operation batch by shard
+   ({!exec}), enqueue one sub-batch per shard, and block on a shared
+   waiter until every sub-batch has been applied.  Scans that exhaust a
+   shard continue into the next one in follow-up rounds (the partition
+   is monotone in key order).
+
+   The coordinator lifts the paper's elasticity policy from one tree to
+   the fleet: a background domain periodically reads each shard's
+   published size (shard domains store it into an [Atomic] after every
+   drained batch) and re-splits one global soft bound across the shards
+   — [demand_weight] of the budget proportionally to current sizes, the
+   rest evenly, floored at [min_fraction] of the even share — delivering
+   the new per-shard bounds as control messages through the same queues.
+   Hot shards keep more standard leaves; cold shards compact first. *)
+
+module Index_ops = Ei_harness.Index_ops
+
+type op =
+  | Insert of string * int
+  | Remove of string
+  | Update of string * int
+  | Find of string
+  | Scan of string * int
+
+(* Results are ints: Insert/Remove/Update 1 = applied, 0 = not; Find
+   the tid or -1; Scan the number of entries visited. *)
+
+type waiter = {
+  wlock : Mutex.t;
+  wcond : Condition.t;
+  mutable pending : int;  (* sub-batches not yet applied *)
+}
+
+type sub = {
+  sops : op array;
+  dest : int array;  (* result slot of each op *)
+  results : int array;  (* shared with the submitting client *)
+  collect : (string -> unit) option;  (* scan_keys sink *)
+  waiter : waiter;
+}
+
+type msg = Work of sub | Set_bound of int
+
+type coordinator_config = {
+  global_bound : int;  (* bytes, split across the fleet *)
+  interval_s : float;  (* seconds between rebalances *)
+  demand_weight : float;  (* fraction of budget split by current size *)
+  min_fraction : float;  (* per-shard floor, as fraction of even share *)
+}
+
+let default_coordinator ~global_bound =
+  {
+    global_bound;
+    interval_s = 0.05;
+    demand_weight = 0.5;
+    min_fraction = 0.5;
+  }
+
+type t = {
+  router : Shard.t;
+  queues : msg Mpsc_queue.t array;
+  sizes : int Atomic.t array;  (* published by shard domains *)
+  batches : int Atomic.t;  (* sub-batches applied, fleet-wide *)
+  rebalances : int Atomic.t;
+  coordinator : coordinator_config option;
+  stopping : bool Atomic.t;
+  mutable domains : unit Domain.t list;
+}
+
+(* --- Shard domains --------------------------------------------------- *)
+
+let apply (ix : Index_ops.t) collect op =
+  match op with
+  | Insert (k, tid) -> if ix.Index_ops.insert k tid then 1 else 0
+  | Remove k -> if ix.Index_ops.remove k then 1 else 0
+  | Update (k, tid) -> if ix.Index_ops.update k tid then 1 else 0
+  | Find k -> ( match ix.Index_ops.find k with Some tid -> tid | None -> -1)
+  | Scan (k, n) -> (
+    match collect with
+    | Some visit -> ix.Index_ops.scan_keys k n visit
+    | None -> ix.Index_ops.scan k n)
+
+let complete w =
+  Mutex.lock w.wlock;
+  w.pending <- w.pending - 1;
+  if w.pending = 0 then Condition.signal w.wcond;
+  Mutex.unlock w.wlock
+
+let shard_loop t ~batch i =
+  let ix = (Shard.parts t.router).(i) in
+  let q = t.queues.(i) in
+  let rec loop () =
+    match Mpsc_queue.pop_batch q ~max:batch with
+    | [] -> ()  (* closed and drained: the domain exits *)
+    | msgs ->
+      List.iter
+        (fun msg ->
+          match msg with
+          | Set_bound b -> ix.Index_ops.set_size_bound b
+          | Work sub ->
+            let n = Array.length sub.sops in
+            for j = 0 to n - 1 do
+              sub.results.(sub.dest.(j)) <-
+                apply ix sub.collect sub.sops.(j)
+            done;
+            complete sub.waiter)
+        msgs;
+      (* Publish the size the coordinator rebalances from.  Every
+         registry index tracks its size in O(1); the elastic OLC tree's
+         tracker is additionally safe under concurrent mutation. *)
+      Atomic.set t.sizes.(i) (ix.Index_ops.memory_bytes ());
+      ignore (Atomic.fetch_and_add t.batches (List.length msgs));
+      loop ()
+  in
+  loop ()
+
+(* --- Coordinator ----------------------------------------------------- *)
+
+(* Demand-weighted split of the global bound: shard i gets
+   [G * (lambda * size_i / total + (1 - lambda) / n)], floored at
+   [min_fraction] of the even share, then scaled so the bounds sum to
+   [G].  Delivered through the queues so only the owning domain touches
+   its index. *)
+let rebalance t cfg =
+  let n = Array.length t.queues in
+  let sizes = Array.map Atomic.get t.sizes in
+  let total = Array.fold_left ( + ) 0 sizes in
+  let g = float_of_int cfg.global_bound in
+  let nf = float_of_int n in
+  let lambda = cfg.demand_weight in
+  let floor_share = cfg.min_fraction *. g /. nf in
+  let raw =
+    Array.map
+      (fun s ->
+        let share =
+          if total = 0 then g /. nf
+          else
+            g
+            *. ((lambda *. float_of_int s /. float_of_int total)
+               +. ((1. -. lambda) /. nf))
+        in
+        if Float.compare share floor_share < 0 then floor_share else share)
+      sizes
+  in
+  let sum = Array.fold_left ( +. ) 0. raw in
+  Array.iteri
+    (fun i r ->
+      let b = int_of_float (r *. g /. sum) in
+      let b = if b < 1 then 1 else b in
+      ignore (Mpsc_queue.push t.queues.(i) (Set_bound b)))
+    raw;
+  ignore (Atomic.fetch_and_add t.rebalances 1)
+
+let coordinator_loop t cfg =
+  (* Sleep in short slices so [stop] is prompt. *)
+  let slice = 0.01 in
+  let rec pause left =
+    if Float.compare left 0. > 0 && not (Atomic.get t.stopping) then begin
+      Unix.sleepf (if Float.compare left slice < 0 then left else slice);
+      pause (left -. slice)
+    end
+  in
+  while not (Atomic.get t.stopping) do
+    pause cfg.interval_s;
+    if not (Atomic.get t.stopping) then rebalance t cfg
+  done
+
+(* --- Lifecycle ------------------------------------------------------- *)
+
+let start ?(queue_capacity = 64) ?(batch = 32) ?coordinator router =
+  let n = Shard.shard_count router in
+  let t =
+    {
+      router;
+      queues = Array.init n (fun _ -> Mpsc_queue.create ~capacity:queue_capacity);
+      sizes = Array.init n (fun _ -> Atomic.make 0);
+      batches = Atomic.make 0;
+      rebalances = Atomic.make 0;
+      coordinator;
+      stopping = Atomic.make false;
+      domains = [];
+    }
+  in
+  Array.iteri
+    (fun i ix -> Atomic.set t.sizes.(i) (ix.Index_ops.memory_bytes ()))
+    (Shard.parts router);
+  let shards =
+    List.init n (fun i -> Domain.spawn (fun () -> shard_loop t ~batch i))
+  in
+  let coord =
+    match coordinator with
+    | Some cfg -> [ Domain.spawn (fun () -> coordinator_loop t cfg) ]
+    | None -> []
+  in
+  t.domains <- shards @ coord;
+  t
+
+let stop t =
+  Atomic.set t.stopping true;
+  Array.iter Mpsc_queue.close t.queues;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let router t = t.router
+let shard_sizes t = Array.map Atomic.get t.sizes
+let batches t = Atomic.get t.batches
+let rebalances t = Atomic.get t.rebalances
+
+let rebalance_now t =
+  match t.coordinator with Some cfg -> rebalance t cfg | None -> ()
+
+(* --- Client side ----------------------------------------------------- *)
+
+let op_key = function
+  | Insert (k, _) | Remove k | Update (k, _) | Find k | Scan (k, _) -> k
+
+(* One round: group (slot, shard, op) triples by shard, enqueue a
+   sub-batch per shard, block until all are applied.  Results land in
+   [results] at each triple's slot. *)
+let run_round t ?collect results triples =
+  let nshards = Array.length t.queues in
+  let counts = Array.make nshards 0 in
+  List.iter (fun (_, s, _) -> counts.(s) <- counts.(s) + 1) triples;
+  let active = ref 0 in
+  Array.iter (fun c -> if c > 0 then incr active) counts;
+  if !active > 0 then begin
+    let waiter =
+      { wlock = Mutex.create (); wcond = Condition.create (); pending = !active }
+    in
+    let subs =
+      Array.map
+        (fun c ->
+          if c = 0 then None
+          else
+            Some
+              {
+                sops = Array.make c (Find "");
+                dest = Array.make c 0;
+                results;
+                collect;
+                waiter;
+              })
+        counts
+    in
+    let fill = Array.make nshards 0 in
+    List.iter
+      (fun (slot, s, op) ->
+        match subs.(s) with
+        | Some sub ->
+          sub.sops.(fill.(s)) <- op;
+          sub.dest.(fill.(s)) <- slot;
+          fill.(s) <- fill.(s) + 1
+        | None -> ())
+      triples;
+    Array.iteri
+      (fun s sub ->
+        match sub with
+        | Some sub ->
+          if not (Mpsc_queue.push t.queues.(s) (Work sub)) then
+            (* Queue closed mid-shutdown: count the sub-batch as done;
+               its slots keep their defaults. *)
+            complete waiter
+        | None -> ())
+      subs;
+    Mutex.lock waiter.wlock;
+    while waiter.pending > 0 do
+      Condition.wait waiter.wcond waiter.wlock
+    done;
+    Mutex.unlock waiter.wlock
+  end
+
+let exec ?collect t (ops : op array) =
+  let n = Array.length ops in
+  let results = Array.make n (-1) in
+  if n > 0 then begin
+    let nshards = Array.length t.queues in
+    let first =
+      List.init n (fun i ->
+          (i, Shard.shard_of_key t.router (op_key ops.(i)), ops.(i)))
+    in
+    run_round t ?collect results first;
+    (* Scans that exhausted their shard continue into the next one; the
+       partition is monotone in key order, so the start key is
+       unchanged.  Each round accumulates into [acc]. *)
+    let acc = Array.make n 0 in
+    let cur = Array.make n 0 in
+    List.iter (fun (i, s, _) -> cur.(i) <- s) first;
+    let continuations () =
+      let out = ref [] in
+      for i = n - 1 downto 0 do
+        match ops.(i) with
+        | Scan (k, want) ->
+          acc.(i) <- acc.(i) + results.(i);
+          results.(i) <- 0;
+          if acc.(i) < want && cur.(i) + 1 < nshards then begin
+            cur.(i) <- cur.(i) + 1;
+            out := (i, cur.(i), Scan (k, want - acc.(i))) :: !out
+          end
+        | Insert _ | Remove _ | Update _ | Find _ -> ()
+      done;
+      !out
+    in
+    let rec settle () =
+      match continuations () with
+      | [] -> ()
+      | conts ->
+        run_round t ?collect results conts;
+        settle ()
+    in
+    settle ();
+    Array.iteri
+      (fun i op ->
+        match op with
+        | Scan _ -> results.(i) <- acc.(i)
+        | Insert _ | Remove _ | Update _ | Find _ -> ())
+      ops
+  end;
+  results
+
+(* --- The serving layer as a uniform index ---------------------------- *)
+
+let index_ops ?(name = "served") t =
+  let one op = (exec t [| op |]).(0) in
+  let parts = Shard.parts t.router in
+  {
+    Index_ops.name;
+    backend = Index_ops.B_composite parts;
+    key_len = Shard.key_len t.router;
+    insert = (fun k tid -> one (Insert (k, tid)) = 1);
+    remove = (fun k -> one (Remove k) = 1);
+    update = (fun k tid -> one (Update (k, tid)) = 1);
+    find =
+      (fun k ->
+        let r = one (Find k) in
+        if r < 0 then None else Some r);
+    scan = (fun start n -> one (Scan (start, n)));
+    scan_keys =
+      (fun start n visit -> (exec ~collect:visit t [| Scan (start, n) |]).(0));
+    memory_bytes =
+      (* published sizes: safe to read while shard domains run *)
+      (fun () -> Array.fold_left ( + ) 0 (shard_sizes t));
+    count =
+      (* full per-part counts; quiesce mutators first (as with any
+         single-index [count] on a concurrent tree) *)
+      (fun () -> Array.fold_left (fun a p -> a + p.Index_ops.count ()) 0 parts);
+    set_size_bound =
+      (* even split through the queues; the periodic coordinator's
+         demand-weighted split supersedes it at the next interval *)
+      (fun bound ->
+        let per = max 1 (bound / Array.length t.queues) in
+        Array.iter
+          (fun q -> ignore (Mpsc_queue.push q (Set_bound per)))
+          t.queues);
+    info =
+      (fun () ->
+        Printf.sprintf "%d shards, %d batches, %d rebalances"
+          (Array.length parts) (batches t) (rebalances t));
+  }

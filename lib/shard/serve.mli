@@ -1,0 +1,79 @@
+(** Domain-per-shard serving layer with a global elastic memory
+    coordinator.
+
+    Each shard of a {!Shard.t} is owned by one domain draining a
+    bounded MPSC request queue in batches; exclusive ownership makes
+    any sequential registry index domain-safe behind its queue.
+    Clients submit operation batches with {!exec} — partitioned by
+    shard, applied in parallel, scans continuing across shards in
+    follow-up rounds — or use the blocking single-op facade
+    {!index_ops}.
+
+    The coordinator (optional) periodically re-splits one global soft
+    size bound across the shards from their published sizes — the
+    paper's elasticity policy lifted from one tree to the fleet: hot
+    shards keep more standard leaves, cold shards compact first. *)
+
+type op =
+  | Insert of string * int
+  | Remove of string
+  | Update of string * int
+  | Find of string
+  | Scan of string * int
+
+type coordinator_config = {
+  global_bound : int;  (** bytes, split across the fleet *)
+  interval_s : float;  (** seconds between rebalances *)
+  demand_weight : float;
+      (** fraction of the budget split proportionally to current shard
+          sizes; the rest is split evenly *)
+  min_fraction : float;
+      (** per-shard floor, as a fraction of the even share *)
+}
+
+val default_coordinator : global_bound:int -> coordinator_config
+(** 50 ms interval, [demand_weight = 0.5], [min_fraction = 0.5]. *)
+
+type t
+
+val start :
+  ?queue_capacity:int ->
+  ?batch:int ->
+  ?coordinator:coordinator_config ->
+  Shard.t ->
+  t
+(** Spawn one domain per shard (plus the coordinator domain when
+    configured).  [queue_capacity] bounds each shard's request queue
+    (producers block when full); [batch] caps the sub-batches drained
+    per wakeup. *)
+
+val stop : t -> unit
+(** Close the queues, drain remaining work, join all domains.  The
+    underlying indexes remain usable single-threaded afterwards. *)
+
+val exec : ?collect:(string -> unit) -> t -> op array -> int array
+(** Apply a batch: partition by shard, enqueue one sub-batch per shard,
+    block until all are applied.  Results positionally: insert / remove
+    / update 1 if applied else 0; find the tid or -1; scan the visited
+    count.  Scans continue across shards until satisfied.  [collect]
+    receives every key visited by scan ops (shared by all scans in the
+    batch). *)
+
+val index_ops : ?name:string -> t -> Ei_harness.Index_ops.t
+(** Blocking single-op facade over {!exec} ([backend = B_composite]).
+    [memory_bytes] sums the published shard sizes (safe under
+    concurrency); [count] walks the parts (quiesce mutators first). *)
+
+val router : t -> Shard.t
+val shard_sizes : t -> int array
+(** Per-shard sizes as last published by the shard domains. *)
+
+val batches : t -> int
+(** Sub-batches applied so far, fleet-wide. *)
+
+val rebalances : t -> int
+(** Coordinator passes completed so far. *)
+
+val rebalance_now : t -> unit
+(** Run one coordinator pass immediately (no-op without a coordinator
+    config); deterministic-test support. *)

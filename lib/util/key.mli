@@ -7,6 +7,14 @@
 type t = string
 
 val compare : t -> t -> int
+(** Reference lexicographic order ([String.compare]). *)
+
+val compare_fast : t -> t -> int
+(** Word-at-a-time lexicographic comparison: 8-byte big-endian chunks
+    via unsigned [int64] compare, byte tail, length tiebreak.  Agrees
+    with {!compare} on every pair of strings; this is the kernel the
+    index search paths use. *)
+
 val equal : t -> t -> bool
 val length : t -> int
 

@@ -30,3 +30,9 @@ val shuffle : t -> 'a array -> unit
 
 val split : t -> t
 (** A new generator seeded from this one. *)
+
+val stream : int -> int -> t
+(** [stream seed i] is the [i]-th independent generator derived from
+    [seed] by splitmix64 stream splitting: deterministic in [(seed, i)]
+    and decorrelated across [i], so parallel domains can each take their
+    own stream of a single experiment seed. *)

@@ -63,6 +63,59 @@ let prop_diff_orders =
         if String.compare a b < 0 then Key.bit a i = 0 && Key.bit b i = 1
         else Key.bit a i = 1 && Key.bit b i = 0)
 
+let sign c = if c < 0 then -1 else if c > 0 then 1 else 0
+
+(* compare_fast reads keys a word at a time; exercise every length from
+   0 to 32 so all word/tail-split combinations are covered, plus pairs
+   sharing a random-length prefix (the case binary search hits most). *)
+let prop_compare_fast =
+  let gen =
+    QCheck.Gen.(
+      int_bound 32 >>= fun la ->
+      int_bound 32 >>= fun lb ->
+      string_size (return la) >>= fun a ->
+      string_size (return lb) >>= fun b ->
+      int_bound (min la lb) >>= fun p ->
+      (* With probability 1/2, splice a shared prefix of length p. *)
+      bool >|= fun share ->
+      if share && p > 0 then (a, String.sub a 0 p ^ String.sub b p (lb - p))
+      else (a, b))
+  in
+  QCheck.Test.make ~name:"compare_fast agrees with String.compare"
+    ~count:20_000
+    (QCheck.make
+       ~print:(fun (a, b) ->
+         Printf.sprintf "(%S, %S)" a b)
+       gen)
+    (fun (a, b) ->
+      sign (Key.compare_fast a b) = sign (String.compare a b)
+      && sign (Key.compare_fast b a) = sign (String.compare b a)
+      && Key.compare_fast a a = 0)
+
+(* Exhaustive corner: equal strings and single-bit differences at every
+   byte position for every length 0-32. *)
+let test_compare_fast_edges () =
+  for len = 0 to 32 do
+    let a = String.make len '\x7f' in
+    check Alcotest.int (Printf.sprintf "equal len %d" len) 0
+      (Key.compare_fast a a);
+    for pos = 0 to len - 1 do
+      let b = Bytes.of_string a in
+      Bytes.set b pos '\x80';
+      let b = Bytes.unsafe_to_string b in
+      check Alcotest.int
+        (Printf.sprintf "diff at %d of %d" pos len)
+        (sign (String.compare a b))
+        (sign (Key.compare_fast a b))
+    done;
+    (* Prefix relation: a is a strict prefix of a ^ "x". *)
+    let ax = a ^ "x" in
+    check Alcotest.int
+      (Printf.sprintf "prefix len %d" len)
+      (sign (String.compare a ax))
+      (sign (Key.compare_fast a ax))
+  done
+
 (* --- RNG ----------------------------------------------------------- *)
 
 let test_rng_deterministic () =
@@ -142,6 +195,9 @@ let () =
           Alcotest.test_case "bit access" `Quick test_bit;
           qt prop_first_diff;
           qt prop_diff_orders;
+          qt prop_compare_fast;
+          Alcotest.test_case "compare_fast edges" `Quick
+            test_compare_fast_edges;
         ] );
       ( "rng",
         [
