@@ -50,14 +50,27 @@ let elastic_fleet ~shards ~global_bound =
            (Olc.default_elastic_config
               ~size_bound:(max 1 (global_bound / shards)))))
 
+(* Returns the number of shed (rejected / timed-out) operations — zero
+   in a fault-free benchmark run; a non-zero count would taint the
+   throughput numbers and is surfaced by the caller. *)
 let run_batches serve ops =
   let n = Array.length ops in
+  let shed = ref 0 in
   let i = ref 0 in
   while !i < n do
     let len = min batch (n - !i) in
-    ignore (Serve.exec serve (Array.sub ops !i len));
+    Array.iter
+      (function
+        | Serve.Applied _ -> ()
+        | Serve.Rejected | Serve.Timed_out -> incr shed)
+      (Serve.exec serve (Array.sub ops !i len));
     i := !i + len
-  done
+  done;
+  !shed
+
+let warn_shed name shed =
+  if shed > 0 then
+    Printf.printf "  (%s: %d operation(s) shed — throughput tainted)\n" name shed
 
 let aggregate_bytes serve = Array.fold_left ( + ) 0 (Serve.shard_sizes serve)
 
@@ -90,8 +103,9 @@ let run () =
         Array.init record_count (fun seq ->
             Serve.Insert (Ycsb.key_of_seq seq, tids.(seq)))
       in
+      let shed = ref 0 in
       let load_mops =
-        mops record_count (fun () -> run_batches serve load_ops)
+        mops record_count (fun () -> shed := !shed + run_batches serve load_ops)
       in
       (* Uniform point reads (workload C shape). *)
       let rng = domain_rng 0 in
@@ -99,7 +113,9 @@ let run () =
         Array.init ops (fun _ ->
             Serve.Find (Ycsb.key_of_seq (Rng.int rng record_count)))
       in
-      let read_mops = mops ops (fun () -> run_batches serve read_ops) in
+      let read_mops =
+        mops ops (fun () -> shed := !shed + run_batches serve read_ops)
+      in
       (* Short scans from uniform starts; a scan landing near the top of
          a shard's range continues into the next shard (workload E
          shape).  Throughput is entries visited per second. *)
@@ -110,7 +126,8 @@ let run () =
             Serve.Scan (Ycsb.key_of_seq (Rng.int rng record_count), scan_len))
       in
       let scan_mops =
-        mops (nscan * scan_len) (fun () -> run_batches serve scan_ops)
+        mops (nscan * scan_len) (fun () ->
+            shed := !shed + run_batches serve scan_ops)
       in
       (* Churn: 50 % reads, 25 % inserts of fresh keys, 25 % removes of
          the oldest fresh key (falling back to updates before any fresh
@@ -146,7 +163,9 @@ let run () =
               Serve.Update (Ycsb.key_of_seq s, tids.(s))
             end)
       in
-      let churn_mops = mops ops (fun () -> run_batches serve churn_ops) in
+      let churn_mops =
+        mops ops (fun () -> shed := !shed + run_batches serve churn_ops)
+      in
       (* Bound check: after one final coordinator pass the aggregate
          tracked bytes must respect the global soft bound (+10 %
          tolerance for in-flight splits). *)
@@ -155,6 +174,7 @@ let run () =
       let ratio = float_of_int agg /. float_of_int global_bound in
       let rebal = Serve.rebalances serve in
       Serve.stop serve;
+      warn_shed (Printf.sprintf "%d shards" shards) !shed;
       let expect = record_count + !next_ins - !next_rem in
       let got = Shard.count router in
       if got <> expect then

@@ -54,18 +54,23 @@ let run_cell ~kind_of_shard ~bound ~shards ~record_count ~ops =
     Array.init record_count (fun seq ->
         Serve.Insert (Ycsb.key_of_seq seq, tids.(seq)))
   in
+  let shed = ref 0 in
   let insert =
-    mops record_count (fun () -> Fig6_par.run_batches serve load_ops)
+    mops record_count (fun () ->
+        shed := !shed + Fig6_par.run_batches serve load_ops)
   in
   let rng = domain_rng 0 in
   let read_ops =
     Array.init ops (fun _ ->
         Serve.Find (Ycsb.key_of_seq (Rng.int rng record_count)))
   in
-  let read = mops ops (fun () -> Fig6_par.run_batches serve read_ops) in
+  let read =
+    mops ops (fun () -> shed := !shed + Fig6_par.run_batches serve read_ops)
+  in
   Serve.rebalance_now serve;
   let bytes = Fig6_par.aggregate_bytes serve in
   Serve.stop serve;
+  Fig6_par.warn_shed (Printf.sprintf "%d shards" shards) !shed;
   { read; insert; bytes }
 
 let run () =

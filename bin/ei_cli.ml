@@ -294,12 +294,17 @@ let serve_cmd =
     let serve =
       Serve.start ~coordinator:(Serve.default_coordinator ~global_bound) router
     in
+    let shed = ref 0 in
     let batched a =
       let n = Array.length a in
       let i = ref 0 in
       while !i < n do
         let len = min 512 (n - !i) in
-        ignore (Serve.exec serve (Array.sub a !i len));
+        Array.iter
+          (function
+            | Serve.Applied _ -> ()
+            | Serve.Rejected | Serve.Timed_out -> incr shed)
+          (Serve.exec serve (Array.sub a !i len));
         i := !i + len
       done
     in
@@ -349,6 +354,8 @@ let serve_cmd =
       (Clock.mib agg) (Clock.mib global_bound)
       (float_of_int agg /. float_of_int global_bound)
       (Serve.rebalances serve);
+    if !shed > 0 then
+      Printf.printf "%d operation(s) shed (rejected or timed out)\n" !shed;
     Serve.stop serve
   in
   let term =
@@ -357,6 +364,75 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run a sharded elastic fleet with the global memory coordinator.")
+    term
+
+(* --- chaos ------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let module Chaos = Ei_chaos.Chaos in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ]
+             ~doc:"Seed driving the workload and every fault stream; a \
+                   failing run replays exactly from its seed.")
+  in
+  let scale_arg =
+    Arg.(value & opt float 1.0
+         & info [ "scale" ]
+             ~doc:"Workload scale factor (1.0 = full soak; CI smoke uses 0.05).")
+  in
+  let shards_arg =
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Shard domains to spawn.")
+  in
+  let plan_arg =
+    Arg.(value & opt (some string) None
+         & info [ "plan" ]
+             ~doc:"Fault plan as site=prob,... (defaults to the built-in \
+                   soak plan covering every fault kind).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress lines.")
+  in
+  let run seed scale shards plan quiet =
+    if shards < 1 then begin prerr_endline "need at least one shard"; exit 2 end;
+    let plan =
+      match plan with
+      | None -> Chaos.default_plan
+      | Some spec -> (
+        match Ei_fault.Fault.parse_plan spec with
+        | Ok p -> p
+        | Error e ->
+          prerr_endline e;
+          exit 2)
+    in
+    let cfg = Chaos.default_config ~seed in
+    let cfg =
+      {
+        cfg with
+        Chaos.scale;
+        shards;
+        plan;
+        progress = (if quiet then None else Some print_endline);
+      }
+    in
+    let report = Chaos.run cfg in
+    Format.printf "%a%!" Chaos.pp_report report;
+    if Chaos.ok report then print_endline "chaos soak: OK"
+    else begin
+      print_endline "chaos soak: FAILED";
+      Printf.printf "reproduce with: ei chaos --seed %d --scale %g --shards %d\n"
+        seed scale shards;
+      exit 1
+    end
+  in
+  let term =
+    Term.(const run $ seed_arg $ scale_arg $ shards_arg $ plan_arg $ quiet_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run the deterministic chaos soak: seeded fault injection \
+             against the supervised shard fleet, with shadow-model \
+             reconciliation and deep validation.")
     term
 
 (* --- volumes ----------------------------------------------------------- *)
@@ -379,4 +455,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ ycsb_cmd; trace_cmd; volumes_cmd; check_cmd; serve_cmd ]))
+       (Cmd.group info
+          [ ycsb_cmd; trace_cmd; volumes_cmd; check_cmd; serve_cmd; chaos_cmd ]))

@@ -1,0 +1,319 @@
+(* Deterministic chaos soak for the sharded serving layer.
+
+   One seed drives everything: the workload stream, every fault site's
+   splitmix64 stream, and therefore the crash / poison / queue-fault
+   schedule and the supervisor's recovery sequence.  The engine runs
+   seeded YCSB-style churn against a supervised {!Ei_shard.Serve}
+   fleet under a fault plan, tracks every *acknowledged* write in a
+   shadow model, and at the end reconciles the fleet against the
+   shadow and deep-validates every shard with {!Ei_check}.
+
+   Determinism protocol.  Reproducibility requires every fault site's
+   draw sequence to be a pure function of the seed:
+
+   - a single client domain issues one batch round at a time, so each
+     shard domain sees a deterministic operation sequence (queue sites
+     draw on the client; crash / poison / op / slash sites draw on the
+     shard domain or, during a rebuild, on the supervisor — and those
+     two are serialised by the barrier below);
+   - after any round containing a timed-out operation the client
+     {e barriers}: it spins until {!Ei_shard.Serve.healthy} — a crash
+     parks its failure before acknowledging the batch, so the barrier
+     cannot miss a recovery in flight.  The next round therefore
+     always starts against a fully re-admitted fleet, never racing
+     draws against a concurrent rebuild;
+   - the coordinator domain is not used; rebalances are client-driven
+     at fixed round numbers ({!Ei_shard.Serve.rebalance_with});
+   - retries ([inject:false] pushes, rebuild re-inserts) never re-draw
+     a fault stream out of schedule.
+
+   Acknowledged-write semantics: only [Applied] outcomes update the
+   shadow; a timed-out write leaves its key *unsettled* (the operation
+   may or may not have been applied) until a later acknowledged write
+   settles it.  Reconciliation demands exact agreement on every
+   settled key — a lost acknowledged write or a phantom row fails the
+   soak — and merely counts the unsettled ones.
+
+   The row table is pre-sized for the whole run: supervised shard
+   domains mark row liveness concurrently with client appends, and a
+   growing table would move the liveness bytes out from under them. *)
+
+module Fault = Ei_fault.Fault
+module Table = Ei_storage.Table
+module Index_ops = Ei_harness.Index_ops
+module Registry = Ei_harness.Registry
+module Serve = Ei_shard.Serve
+module Shard = Ei_shard.Shard
+module Check = Ei_check.Check
+module Rng = Ei_util.Rng
+module Strtbl = Ei_util.Strtbl
+module Key = Ei_util.Key
+
+type config = {
+  seed : int;
+  scale : float;  (* 1.0 = full soak; CI smoke uses ~0.05 *)
+  shards : int;
+  key_len : int;
+  plan : (string * float) list;
+  timeout_s : float;  (* exec deadline; bounds the cost of a dropped sub *)
+  rebalance_every : int;  (* rounds between client-driven rebalances; 0 = off *)
+  progress : (string -> unit) option;
+}
+
+(* Every fault kind the serving layer exposes, at probabilities tuned
+   so a full-scale run sees a handful of recoveries per shard while
+   the smoke scale still crosses the fault paths. *)
+let default_plan =
+  [
+    ("serve.crash", 0.0015);
+    ("serve.poison", 0.0008);
+    ("serve.queue.*.drop", 0.0008);
+    ("serve.queue.*.delay", 0.002);
+    ("serve.queue.*.refuse", 0.003);
+    ("serve.op", 0.002);
+    ("elastic.slash", 0.005);
+  ]
+
+let default_config ~seed =
+  {
+    seed;
+    scale = 1.0;
+    shards = 4;
+    key_len = 8;
+    plan = default_plan;
+    timeout_s = 0.5;
+    rebalance_every = 25;
+    progress = None;
+  }
+
+type report = {
+  rounds : int;
+  ops : int;
+  applied : int;
+  rejected : int;
+  timed_out : int;
+  barriers : int;  (* post-anomaly waits for fleet health *)
+  recoveries : int;
+  recovery_log : (int * string * int) list;
+  lost : int;  (* settled-present keys missing or with the wrong tid *)
+  phantoms : int;  (* settled-absent keys still present *)
+  unsettled : int;  (* keys left ambiguous by timed-out writes *)
+  find_mismatches : int;  (* online read inconsistencies during churn *)
+  check_errors : int;  (* Ei_check Error findings across all shards *)
+  fault_stats : (string * int * int) list;
+}
+
+let ok r =
+  r.lost = 0 && r.phantoms = 0 && r.find_mismatches = 0 && r.check_errors = 0
+
+(* Shadow state of one key, from acknowledged outcomes only. *)
+type entry = Present of int | Absent | Unsettled
+
+let run cfg =
+  Fault.configure ~seed:cfg.seed cfg.plan;
+  let scaled x =
+    let v = int_of_float (float_of_int x *. cfg.scale) in
+    if v < 1 then 1 else v
+  in
+  let nkeys = scaled 6_000 in
+  let rounds = scaled 400 in
+  let batch_sz = 64 in
+  let global_bound = scaled 400_000 in
+  let say fmt =
+    Printf.ksprintf
+      (fun s -> match cfg.progress with Some f -> f s | None -> ())
+      fmt
+  in
+  (* Pre-sized: appends must never grow the table mid-run (see above). *)
+  let table =
+    Table.create
+      ~initial_capacity:(nkeys + (rounds * batch_sz) + 64)
+      ~key_len:cfg.key_len ()
+  in
+  let mk_part i =
+    let ecfg =
+      Ei_core.Elasticity.default_config ~size_bound:(max 1 (global_bound / cfg.shards))
+    in
+    let ecfg =
+      {
+        ecfg with
+        Ei_core.Elasticity.fault_site = Printf.sprintf "elastic.slash.shard%d" i;
+      }
+    in
+    let ix =
+      Registry.make
+        ~name:(Printf.sprintf "chaos-shard%d" i)
+        ~key_len:cfg.key_len ~load:(Table.loader table) (Registry.Elastic ecfg)
+    in
+    Index_ops.inject ~site:(Fault.site (Printf.sprintf "serve.op.shard%d" i)) ix
+  in
+  let router = Shard.create (Array.init cfg.shards mk_part) in
+  let serve =
+    Serve.start
+      ~supervisor:(Serve.default_supervisor ~table ~rebuild:mk_part)
+      ~fault_prefix:"serve" ~timeout_s:cfg.timeout_s router
+  in
+  let coord = Serve.default_coordinator ~global_bound in
+  let rng = Rng.stream cfg.seed 0x1 in
+  let pool = Array.init nkeys (fun _ -> Key.random rng cfg.key_len) in
+  let shadow : entry Strtbl.t = Strtbl.create (2 * nkeys) in
+  let applied = ref 0
+  and rejected = ref 0
+  and timed_out = ref 0
+  and barriers = ref 0
+  and find_mismatches = ref 0 in
+  let barrier_pending = ref false in
+  for round = 1 to rounds do
+    if !barrier_pending then begin
+      incr barriers;
+      while not (Serve.healthy serve) do
+        Unix.sleepf 0.0005
+      done;
+      barrier_pending := false
+    end;
+    let ops =
+      Array.init batch_sz (fun _ ->
+          let k = pool.(Rng.int rng nkeys) in
+          let c = Rng.int rng 100 in
+          if c < 40 then Serve.Insert (k, Table.append table k)
+          else if c < 55 then Serve.Remove k
+          else if c < 65 then Serve.Update (k, Table.append table k)
+          else if c < 90 then Serve.Find k
+          else Serve.Scan (k, 16))
+    in
+    let outs = Serve.exec serve ops in
+    Array.iteri
+      (fun i out ->
+        match (ops.(i), out) with
+        | Serve.Insert (k, tid), Serve.Applied 1 ->
+          incr applied;
+          Strtbl.replace shadow k (Present tid)
+        | Serve.Remove k, Serve.Applied 1 ->
+          incr applied;
+          Strtbl.replace shadow k Absent
+        | Serve.Update (k, tid), Serve.Applied 1 ->
+          incr applied;
+          Strtbl.replace shadow k (Present tid)
+        | Serve.Find k, Serve.Applied r -> (
+          incr applied;
+          (* Single client + per-shard FIFO: an acknowledged read must
+             agree with the shadow whenever the key is settled. *)
+          match Strtbl.find_opt shadow k with
+          | Some (Present tid) -> if r <> tid then incr find_mismatches
+          | Some Absent | None -> if r >= 0 then incr find_mismatches
+          | Some Unsettled -> ())
+        | (Serve.Insert _ | Serve.Remove _ | Serve.Update _ | Serve.Scan _), Serve.Applied _
+          ->
+          incr applied
+        | _, Serve.Rejected -> incr rejected
+        | (Serve.Insert (k, _) | Serve.Remove k | Serve.Update (k, _)), Serve.Timed_out
+          ->
+          incr timed_out;
+          Strtbl.replace shadow k Unsettled;
+          barrier_pending := true
+        | (Serve.Find _ | Serve.Scan _), Serve.Timed_out ->
+          incr timed_out;
+          barrier_pending := true)
+      outs;
+    if cfg.rebalance_every > 0 && round mod cfg.rebalance_every = 0 then
+      Serve.rebalance_with serve coord;
+    if round mod 100 = 0 then
+      say "round %d/%d: %d applied, %d rejected, %d timed out, %d recoveries"
+        round rounds !applied !rejected !timed_out (Serve.recoveries serve)
+  done;
+  (* Quiesce: let any final recovery land, freeze the fault schedule
+     digest, then disarm every site so reconciliation reads draw
+     nothing. *)
+  while not (Serve.healthy serve) do
+    Unix.sleepf 0.0005
+  done;
+  let fault_stats = Fault.stats () in
+  Fault.clear ();
+  let lost = ref 0 and phantoms = ref 0 and unsettled = ref 0 in
+  let keys = Strtbl.fold (fun k e acc -> (k, e) :: acc) shadow [] in
+  let chunk = 512 in
+  let rec reconcile = function
+    | [] -> ()
+    | batch_keys ->
+      let now, rest =
+        if List.length batch_keys <= chunk then (batch_keys, [])
+        else (List.filteri (fun i _ -> i < chunk) batch_keys,
+              List.filteri (fun i _ -> i >= chunk) batch_keys)
+      in
+      let arr = Array.of_list now in
+      let outs =
+        Serve.exec serve (Array.map (fun (k, _) -> Serve.Find k) arr)
+      in
+      Array.iteri
+        (fun i (_, e) ->
+          match (e, outs.(i)) with
+          | Unsettled, _ -> incr unsettled
+          | Present tid, Serve.Applied r -> if r <> tid then incr lost
+          | Present _, (Serve.Rejected | Serve.Timed_out) -> incr lost
+          | Absent, Serve.Applied r -> if r >= 0 then incr phantoms
+          | Absent, (Serve.Rejected | Serve.Timed_out) -> incr phantoms)
+        arr;
+      reconcile rest
+  in
+  reconcile keys;
+  Serve.stop serve;
+  let check_errors =
+    Array.fold_left
+      (fun acc part -> acc + List.length (Check.errors (Check.run part)))
+      0 (Shard.parts router)
+  in
+  let report =
+    {
+      rounds;
+      ops = rounds * batch_sz;
+      applied = !applied;
+      rejected = !rejected;
+      timed_out = !timed_out;
+      barriers = !barriers;
+      recoveries = Serve.recoveries serve;
+      recovery_log = Serve.recovery_log serve;
+      lost = !lost;
+      phantoms = !phantoms;
+      unsettled = !unsettled;
+      find_mismatches = !find_mismatches;
+      check_errors;
+      fault_stats;
+    }
+  in
+  say "done: %d ops, %d applied, %d recoveries, lost %d, phantoms %d, %d check errors"
+    report.ops report.applied report.recoveries report.lost report.phantoms
+    report.check_errors;
+  report
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "chaos soak: %d rounds / %d ops@\n\
+    \  applied %d, rejected %d, timed out %d, barriers %d@\n\
+    \  recoveries %d, unsettled keys %d@\n\
+    \  lost acknowledged writes %d, phantoms %d, find mismatches %d, check errors %d@\n"
+    r.rounds r.ops r.applied r.rejected r.timed_out r.barriers r.recoveries
+    r.unsettled r.lost r.phantoms r.find_mismatches r.check_errors;
+  List.iter
+    (fun (shard, cause, rows) ->
+      Format.fprintf fmt "  recovery: shard %d (%s), %d rows rebuilt@\n" shard
+        cause rows)
+    r.recovery_log;
+  List.iter
+    (fun (site, calls, fired) ->
+      if fired > 0 then
+        Format.fprintf fmt "  fault %s: %d/%d fired@\n" site fired calls)
+    r.fault_stats
+
+(* The digest two equal-seed runs must agree on exactly: the fault
+   schedule and the recovery sequence. *)
+let schedule_digest r =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (site, calls, fired) ->
+      Buffer.add_string b (Printf.sprintf "%s:%d:%d;" site calls fired))
+    r.fault_stats;
+  List.iter
+    (fun (shard, cause, rows) ->
+      Buffer.add_string b (Printf.sprintf "R%d:%s:%d;" shard cause rows))
+    r.recovery_log;
+  Buffer.contents b

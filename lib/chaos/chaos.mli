@@ -1,0 +1,75 @@
+(** Deterministic chaos soak for the sharded serving layer.
+
+    Seeded YCSB-style churn against a supervised {!Ei_shard.Serve}
+    fleet under an {!Ei_fault.Fault} plan: crashes, poisonings, queue
+    faults, transient op failures and elastic bound slashes — all
+    drawn from per-site streams derived from one seed, so a failing
+    run replays exactly.  Every acknowledged write is tracked in a
+    shadow model; the run ends by reconciling the fleet against the
+    shadow (zero lost acknowledged writes, zero phantoms) and
+    deep-validating every shard with {!Ei_check}.
+
+    Determinism: a single client issues one batch round at a time and
+    barriers on {!Ei_shard.Serve.healthy} after any round with a
+    timed-out operation, so fault-site draws never race a concurrent
+    rebuild; rebalances are client-driven at fixed rounds.  Two runs
+    with the same config agree on {!schedule_digest}. *)
+
+type config = {
+  seed : int;
+  scale : float;  (** 1.0 = full soak; CI smoke uses ~0.05 *)
+  shards : int;
+  key_len : int;
+  plan : (string * float) list;
+  timeout_s : float;
+      (** exec deadline; bounds the cost of a dropped sub-batch *)
+  rebalance_every : int;
+      (** rounds between client-driven rebalances; 0 = off *)
+  progress : (string -> unit) option;
+}
+
+val default_plan : (string * float) list
+(** Every fault kind the serving layer exposes, at soak-tuned
+    probabilities. *)
+
+val default_config : seed:int -> config
+(** Full scale, 4 shards, {!default_plan}, 0.5 s deadline, rebalance
+    every 25 rounds, silent. *)
+
+type report = {
+  rounds : int;
+  ops : int;
+  applied : int;
+  rejected : int;
+  timed_out : int;
+  barriers : int;  (** post-anomaly waits for fleet health *)
+  recoveries : int;
+  recovery_log : (int * string * int) list;
+  lost : int;
+      (** settled-present keys missing or with the wrong tid — any
+          non-zero value is a lost acknowledged write *)
+  phantoms : int;  (** settled-absent keys still present *)
+  unsettled : int;  (** keys left ambiguous by timed-out writes *)
+  find_mismatches : int;
+      (** acknowledged reads that contradicted the shadow mid-churn *)
+  check_errors : int;
+      (** {!Ei_check} [Error] findings across all shards, post-run *)
+  fault_stats : (string * int * int) list;
+      (** per-site (name, draws, fired) — the fault schedule *)
+}
+
+val ok : report -> bool
+(** Zero lost, zero phantoms, zero find mismatches, zero check
+    errors.  Unsettled keys and shed (rejected / timed-out) operations
+    are legal under injected faults. *)
+
+val run : config -> report
+(** Execute the soak.  Configures the global fault plan on entry and
+    clears it before reconciliation; the fleet is stopped and every
+    part deep-validated before returning. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val schedule_digest : report -> string
+(** The fault schedule and recovery sequence serialised — the value
+    two equal-seed runs must agree on byte-for-byte. *)

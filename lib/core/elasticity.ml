@@ -48,6 +48,8 @@ type config = {
                                        0 disables the access-aware policy *)
   cold_sweep_batch : int;           (* leaves inspected per sweep *)
   seed : int;
+  fault_site : string;              (* Ei_fault site name for injected
+                                       bound slashes; "" disables *)
 }
 
 let default_config ~size_bound =
@@ -63,6 +65,7 @@ let default_config ~size_bound =
     cold_sweep_period = 0;
     cold_sweep_batch = 8;
     seed = 0x5eed;
+    fault_site = "";
   }
 
 type t = {
@@ -72,6 +75,8 @@ type t = {
   rng : Ei_util.Rng.t;
   mutable state : state;
   mutable transitions : int;
+  slash : Ei_fault.Fault.site option;
+  mutable slashes : int;
 }
 
 let create ~std_capacity config =
@@ -95,11 +100,16 @@ let create ~std_capacity config =
     rng = Ei_util.Rng.create config.seed;
     state = Normal;
     transitions = 0;
+    slash =
+      (if String.equal config.fault_site "" then None
+       else Some (Ei_fault.Fault.site config.fault_site));
+    slashes = 0;
   }
 
 let state t = t.state
 let transitions t = t.transitions
 let size_bound t = t.config.size_bound
+let slashes t = t.slashes
 
 (* Retune the soft bound on a live index.  The next [update] call sees
    the new thresholds, so the state machine reacts on the following
@@ -120,8 +130,18 @@ let set_state t s =
     t.transitions <- t.transitions + 1
   end
 
-(* State transition check, run whenever the policy is consulted. *)
+(* State transition check, run whenever the policy is consulted.  The
+   injected memory-pressure spike fires here — the same moments a real
+   spike would be observed — halving the soft bound so the state
+   machine must react (a later [set_size_bound] from a coordinator
+   restores the configured split). *)
 let update t (view : Policy.view) =
+  (match t.slash with
+  | Some site when Ei_fault.Fault.fire site ->
+    t.config <-
+      { t.config with size_bound = max 1 (t.config.size_bound / 2) };
+    t.slashes <- t.slashes + 1
+  | _ -> ());
   match t.state with
   | Normal -> if view.bytes >= shrink_at t then set_state t Shrinking
   | Shrinking -> if view.bytes <= expand_at t then set_state t Expanding

@@ -36,6 +36,10 @@ type config = {
       access-aware policy variant (§4 design space) *)
   cold_sweep_batch : int;           (** leaves inspected per sweep *)
   seed : int;
+  fault_site : string;
+  (** {!Ei_fault.Fault} site name for injected memory-pressure spikes
+      (the live bound is halved when the site fires at a state-machine
+      consultation); [""] (the default) disables the site *)
 }
 
 val default_config : size_bound:int -> config
@@ -54,6 +58,9 @@ val transitions : t -> int
 
 val size_bound : t -> int
 (** The current soft bound in bytes. *)
+
+val slashes : t -> int
+(** Injected bound slashes absorbed so far (0 without a [fault_site]). *)
 
 val set_size_bound : t -> int -> unit
 (** Retune the soft bound on a live policy (the elastic memory

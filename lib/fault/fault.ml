@@ -1,0 +1,171 @@
+(* Deterministic, seed-driven fault injection.
+
+   Robustness work needs failure to be a first-class, reproducible
+   input — the FoundationDB discipline: a fault that cannot be replayed
+   from a seed cannot be debugged.  Every place in the system that can
+   fail registers a named *site*; a run-wide plan maps site names to
+   firing probabilities; each site draws from its own splitmix64 stream
+   derived from [(seed, Fnv.hash name)], so
+
+   - the schedule is a pure function of the seed and the per-site call
+     sequence (never of wall-clock time or domain interleaving), and
+   - sites are decorrelated: changing one site's traffic does not shift
+     any other site's schedule.
+
+   When no plan is configured ([clear], the initial state) every site
+   is a single atomic load — production paths pay one branch.
+
+   Site naming convention: ["<kind>.<instance>"], e.g.
+   ["serve.crash.shard3"] or ["queue.drop.shard0"], so a plan entry can
+   name one instance exactly or a whole kind by dot-bounded prefix
+   (["serve.crash" = 0.001] arms every shard's crash site). *)
+
+module Rng = Ei_util.Rng
+module Strtbl = Ei_util.Strtbl
+module Fnv = Ei_util.Fnv
+
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected site -> Some ("Fault.Injected: " ^ site)
+    | _ -> None)
+
+type site = {
+  name : string;
+  lock : Mutex.t;
+      (* Serialises draws at one site.  Per-site call order is the
+         determinism unit: sites hit from a single domain (the common
+         case — each shard's sites live in that shard's domain) replay
+         exactly; a site shared across domains is deterministic only in
+         aggregate. *)
+  mutable rng : Rng.t;
+  mutable prob : float;
+  mutable calls : int;
+  mutable fired : int;
+}
+
+(* --- Global plan ----------------------------------------------------- *)
+
+let active = Atomic.make false
+let registry_lock = Mutex.create ()
+let registry : site Strtbl.t = Strtbl.create 64
+let plan : (string * float) list ref = ref []
+let plan_seed = ref 0
+
+(* A plan key matches a site name when its dot-separated segments are a
+   prefix of the name's, with ["*"] matching any one segment:
+   ["serve.crash"] and ["serve.crash.*"] both arm
+   ["serve.crash.shard3"]; ["serve.queue.*.drop"] arms every shard's
+   drop site. *)
+let matches ~key name =
+  let rec go ks ns =
+    match (ks, ns) with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | k :: ks', n :: ns' ->
+      (String.equal k "*" || String.equal k n) && go ks' ns'
+  in
+  go (String.split_on_char '.' key) (String.split_on_char '.' name)
+
+let prob_of name =
+  List.fold_left
+    (fun acc (key, p) -> if matches ~key name then p else acc)
+    0.0 !plan
+
+let reset_site s =
+  s.rng <- Rng.stream !plan_seed (Fnv.hash s.name);
+  s.prob <- prob_of s.name;
+  s.calls <- 0;
+  s.fired <- 0
+
+let configure ~seed bindings =
+  Mutex.lock registry_lock;
+  plan := bindings;
+  plan_seed := seed;
+  Strtbl.iter (fun _ s -> reset_site s) registry;
+  Atomic.set active (match bindings with [] -> false | _ :: _ -> true);
+  Mutex.unlock registry_lock
+
+let clear () = configure ~seed:0 []
+
+let enabled () = Atomic.get active
+
+let site name =
+  Mutex.lock registry_lock;
+  let s =
+    match Strtbl.find_opt registry name with
+    | Some s -> s
+    | None ->
+      let s =
+        {
+          name;
+          lock = Mutex.create ();
+          rng = Rng.create 0;
+          prob = 0.0;
+          calls = 0;
+          fired = 0;
+        }
+      in
+      reset_site s;
+      Strtbl.add registry name s;
+      s
+  in
+  Mutex.unlock registry_lock;
+  s
+
+(* --- Firing ---------------------------------------------------------- *)
+
+let fire s =
+  if not (Atomic.get active) then false
+  else begin
+    Mutex.lock s.lock;
+    s.calls <- s.calls + 1;
+    let hit =
+      Float.compare s.prob 0.0 > 0
+      && Float.compare (Rng.float s.rng) s.prob < 0
+    in
+    if hit then s.fired <- s.fired + 1;
+    Mutex.unlock s.lock;
+    hit
+  end
+
+let inject s = if fire s then raise (Injected s.name)
+
+let name s = s.name
+let calls s = s.calls
+let fired s = s.fired
+
+let stats () =
+  Mutex.lock registry_lock;
+  let rows =
+    Strtbl.fold (fun _ s acc -> (s.name, s.calls, s.fired) :: acc) registry []
+  in
+  Mutex.unlock registry_lock;
+  List.sort
+    (fun (a, _, _) (b, _, _) -> String.compare a b)
+    (List.filter (fun (_, calls, _) -> calls > 0) rows)
+
+(* --- Plan parsing (CLI support) -------------------------------------- *)
+
+(* "site=prob,site=prob" — e.g. "serve.crash=0.0005,queue.drop=0.01". *)
+let parse_plan spec =
+  let entries = String.split_on_char ',' (String.trim spec) in
+  let rec build acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> build acc rest
+    | entry :: rest -> (
+      match String.index_opt entry '=' with
+      | None -> Error (Printf.sprintf "fault plan entry %S: expected site=prob" entry)
+      | Some i ->
+        let key = String.trim (String.sub entry 0 i) in
+        let v = String.trim (String.sub entry (i + 1) (String.length entry - i - 1)) in
+        (match (key, float_of_string_opt v) with
+        | "", _ -> Error (Printf.sprintf "fault plan entry %S: empty site name" entry)
+        | _, None -> Error (Printf.sprintf "fault plan entry %S: bad probability %S" entry v)
+        | key, Some p when Float.compare p 0.0 >= 0 && Float.compare p 1.0 <= 0 ->
+          build ((key, p) :: acc) rest
+        | _, Some p ->
+          Error (Printf.sprintf "fault plan entry %S: probability %g not in [0, 1]" entry p)))
+  in
+  build [] entries

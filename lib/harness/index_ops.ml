@@ -41,6 +41,36 @@ and t = {
 
 let no_size_bound (_ : int) = ()
 
+(* Transient operation failure, injected in front of any index: each
+   point operation first draws at the site and raises [Fault.Injected]
+   when it fires.  The backend is passed through unchanged, so deep
+   validators ({!Ei_check}) still reach the real structure.  Scans and
+   aggregates are not wrapped — transient faults model per-op resource
+   refusals (allocation failure, admission control), which a caller
+   retries; corrupting read-only introspection would only blind the
+   validators this substrate exists to feed. *)
+let inject ~site (ix : t) =
+  let module Fault = Ei_fault.Fault in
+  {
+    ix with
+    insert =
+      (fun k tid ->
+        Fault.inject site;
+        ix.insert k tid);
+    remove =
+      (fun k ->
+        Fault.inject site;
+        ix.remove k);
+    update =
+      (fun k tid ->
+        Fault.inject site;
+        ix.update k tid);
+    find =
+      (fun k ->
+        Fault.inject site;
+        ix.find k);
+  }
+
 let checksum = ref 0
 (* Scanned keys are folded into this sink so the compiler cannot elide
    the key materialisation work. *)

@@ -43,6 +43,13 @@ and t = {
 val no_size_bound : int -> unit
 (** The no-op [set_size_bound] for inelastic indexes. *)
 
+val inject : site:Ei_fault.Fault.site -> t -> t
+(** [inject ~site ix] is [ix] whose point operations (insert / remove /
+    update / find) first draw at the fault site and raise
+    {!Ei_fault.Fault.Injected} when it fires — transient op failure a
+    caller is expected to absorb or retry.  The backend is unchanged,
+    so deep validators still reach the real structure. *)
+
 val checksum : int ref
 (** Sink for scanned key bytes (prevents dead-code elimination). *)
 

@@ -5,9 +5,30 @@
    block while the queue is full (backpressure instead of unbounded
    growth) and the consumer blocks while it is empty — blocking, not
    spinning, because shard domains share cores with their clients and a
-   waiting party must get off the CPU. *)
+   waiting party must get off the CPU.
+
+   [close] is race-safe against producers blocked on a full queue: it
+   broadcasts both conditions under the lock, and a woken producer
+   re-checks [closed] before re-checking fullness, so a blocked [push]
+   raises {!Closed} promptly instead of waiting for space that will
+   never appear (the consumer may already be gone).
+
+   Optional fault sites ([?fault_prefix]) make the queue a chaos
+   surface: [<prefix>.refuse] makes a push fail as if the queue were
+   closed, [<prefix>.delay] stalls it, [<prefix>.drop] loses the
+   element after admission — message loss the caller's timeout
+   machinery must absorb. *)
 
 module Invariant = Ei_util.Invariant
+module Fault = Ei_fault.Fault
+
+exception Closed
+
+type faults = {
+  f_drop : Fault.site;
+  f_delay : Fault.site;
+  f_refuse : Fault.site;
+}
 
 type 'a t = {
   buf : 'a option array;  (* ring; [None] marks a free slot *)
@@ -18,9 +39,10 @@ type 'a t = {
   lock : Mutex.t;
   not_empty : Condition.t;
   not_full : Condition.t;
+  faults : faults option;
 }
 
-let create ~capacity =
+let create ?fault_prefix ~capacity () =
   assert (capacity > 0);
   {
     buf = Array.make capacity None;
@@ -31,9 +53,26 @@ let create ~capacity =
     lock = Mutex.create ();
     not_empty = Condition.create ();
     not_full = Condition.create ();
+    faults =
+      Option.map
+        (fun p ->
+          {
+            f_drop = Fault.site (p ^ ".drop");
+            f_delay = Fault.site (p ^ ".delay");
+            f_refuse = Fault.site (p ^ ".refuse");
+          })
+        fault_prefix;
   }
 
-let push t x =
+(* [inject:false] bypasses the fault sites: the retry/recovery path of a
+   supervisor must not re-draw the fault streams, or first-attempt
+   schedules would stop being deterministic. *)
+let push ?(inject = true) t x =
+  (match t.faults with
+  | Some f when inject && Fault.enabled () ->
+    if Fault.fire f.f_refuse then raise Closed;
+    if Fault.fire f.f_delay then Unix.sleepf 0.001
+  | _ -> ());
   Mutex.lock t.lock;
   let rec admitted () =
     if t.closed then false
@@ -45,12 +84,19 @@ let push t x =
   in
   let ok = admitted () in
   if ok then begin
-    t.buf.((t.head + t.len) mod t.capacity) <- Some x;
-    t.len <- t.len + 1;
-    Condition.signal t.not_empty
+    let dropped =
+      match t.faults with
+      | Some f when inject && Fault.enabled () -> Fault.fire f.f_drop
+      | _ -> false
+    in
+    if not dropped then begin
+      t.buf.((t.head + t.len) mod t.capacity) <- Some x;
+      t.len <- t.len + 1;
+      Condition.signal t.not_empty
+    end
   end;
   Mutex.unlock t.lock;
-  ok
+  if not ok then raise Closed
 
 let pop_batch t ~max:m =
   assert (m > 0);
@@ -95,6 +141,12 @@ let close t =
   Condition.broadcast t.not_empty;
   Condition.broadcast t.not_full;
   Mutex.unlock t.lock
+
+let is_closed t =
+  Mutex.lock t.lock;
+  let c = t.closed in
+  Mutex.unlock t.lock;
+  c
 
 let length t =
   Mutex.lock t.lock;

@@ -1,5 +1,5 @@
 (* Domain-per-shard serving layer with a global elastic memory
-   coordinator.
+   coordinator and a self-healing shard supervisor.
 
    Each shard of a {!Shard.t} is owned by exactly one domain, which
    drains a bounded MPSC request queue in batches and applies the
@@ -18,9 +18,35 @@
    — [demand_weight] of the budget proportionally to current sizes, the
    rest evenly, floored at [min_fraction] of the even share — delivering
    the new per-shard bounds as control messages through the same queues.
-   Hot shards keep more standard leaves; cold shards compact first. *)
+   Hot shards keep more standard leaves; cold shards compact first.
+
+   The supervisor (optional) makes the fleet self-healing.  A shard
+   domain that dies — a crash escaping the batch loop, or structural
+   poison surfacing as [Invariant.Broken] — parks its exception in a
+   per-shard slot; a heartbeat counter bumped after every drained batch
+   is the backstop for a wedged domain that stops making progress
+   without dying.  The supervisor domain polls both signals and runs
+   the recovery sequence: quarantine the shard (reads degrade to direct
+   single-threaded access under the quarantine lock; writes retry with
+   exponential backoff until recovery or their deadline), close and
+   drain the dead queue (failing the pending sub-batches so clients
+   observe [Timed_out] rather than hanging), rebuild the part from the
+   {!Ei_storage.Table} row table — the source of truth for acknowledged
+   writes: shard domains maintain per-row liveness as they apply —
+   re-spawn the domain on a fresh queue, and re-admit the shard.  A
+   generation fence keeps an abandoned wedged domain from acknowledging
+   anything if it ever wakes.
+
+   Fault injection: [start ~fault_prefix:p] arms {!Ei_fault.Fault}
+   sites [p.crash.shard<i>] (domain dies mid-batch),
+   [p.poison.shard<i>] (domain raises [Invariant.Broken]) and the
+   queue sites [p.queue.shard<i>.{drop,delay,refuse}].  All are inert
+   until a fault plan is configured. *)
 
 module Index_ops = Ei_harness.Index_ops
+module Fault = Ei_fault.Fault
+module Table = Ei_storage.Table
+module Invariant = Ei_util.Invariant
 
 type op =
   | Insert of string * int
@@ -29,8 +55,23 @@ type op =
   | Find of string
   | Scan of string * int
 
-(* Results are ints: Insert/Remove/Update 1 = applied, 0 = not; Find
-   the tid or -1; Scan the number of entries visited. *)
+type outcome = Applied of int | Rejected | Timed_out
+
+exception Crashed of string
+
+let () =
+  Printexc.register_printer (function
+    | Crashed site -> Some ("Serve.Crashed: " ^ site)
+    | _ -> None)
+
+(* In-flight results are ints — Insert/Remove/Update 1 = applied, 0 =
+   not; Find the tid or -1; Scan the visited count — with two sentinel
+   codes no real result can collide with (tids are non-negative row
+   ids): a slot still holding [pending_code] when the client's wait
+   ends was never applied ([Timed_out]); [rejected_code] marks a
+   transient injected fault ([Rejected]). *)
+let pending_code = min_int
+let rejected_code = min_int + 1
 
 type waiter = {
   wlock : Mutex.t;
@@ -63,16 +104,61 @@ let default_coordinator ~global_bound =
     min_fraction = 0.5;
   }
 
+type supervisor_config = {
+  table : Table.t;  (* row table: rebuild source of truth *)
+  rebuild : int -> Index_ops.t;  (* fresh, empty part for shard [i] *)
+  poll_interval_s : float;  (* seconds between supervisor passes *)
+  stall_timeout_s : float;  (* heartbeat silence that means wedged *)
+}
+
+let default_supervisor ~table ~rebuild =
+  { table; rebuild; poll_interval_s = 0.002; stall_timeout_s = 1.0 }
+
+(* Shard status: running (clients enqueue) or quarantined (reads go
+   direct under [qlock], writes back off until recovery). *)
+let st_running = 0
+let st_quarantined = 1
+
+type shard_faults = { crash : Fault.site; poison : Fault.site }
+
+type shard_state = {
+  queue : msg Mpsc_queue.t Atomic.t;  (* swapped at every recovery *)
+  status : int Atomic.t;
+  gen : int Atomic.t;  (* bumped per recovery; fences out zombies *)
+  heartbeat : int Atomic.t;  (* bumped per drained batch *)
+  failed : exn option Atomic.t;  (* parked by a dying domain *)
+  qlock : Mutex.t;  (* quarantined direct access vs. rebuild *)
+  faults : shard_faults option;
+  mutable domain : unit Domain.t option;  (* supervisor / stop only *)
+  mutable abandoned : unit Domain.t list;  (* wedged, never joined *)
+}
+
+type recovery = {
+  r_shard : int;
+  r_cause : string;  (* printed exception, or the wedge diagnosis *)
+  r_rows : int;  (* live rows reinserted from the table *)
+}
+
 type t = {
   router : Shard.t;
-  queues : msg Mpsc_queue.t array;
+  shards : shard_state array;
   sizes : int Atomic.t array;  (* published by shard domains *)
   batches : int Atomic.t;  (* sub-batches applied, fleet-wide *)
   rebalances : int Atomic.t;
+  recoveries_n : int Atomic.t;
   coordinator : coordinator_config option;
+  supervisor : supervisor_config option;
+  timeout_s : float option;  (* default exec deadline *)
+  batch : int;
+  queue_capacity : int;
+  fault_prefix : string option;
   stopping : bool Atomic.t;
-  mutable domains : unit Domain.t list;
+  log_lock : Mutex.t;
+  mutable log : recovery list;  (* newest first *)
+  mutable aux : unit Domain.t list;  (* coordinator + supervisor *)
 }
+
+let now () = Unix.gettimeofday ()
 
 (* --- Shard domains --------------------------------------------------- *)
 
@@ -87,145 +173,519 @@ let apply (ix : Index_ops.t) collect op =
     | Some visit -> ix.Index_ops.scan_keys k n visit
     | None -> ix.Index_ops.scan k n)
 
+(* Supervised apply additionally maintains per-row liveness in the row
+   table, keeping it the source of truth a recovery rebuilds from.  An
+   op marks only after the index accepted it, so a row is never live
+   without having been applied; removes and updates look the old tid up
+   first because the index is the only map from key to tid. *)
+let apply_logged table (ix : Index_ops.t) collect op =
+  match op with
+  | Insert (k, tid) ->
+    if ix.Index_ops.insert k tid then begin
+      Table.mark_live table tid;
+      1
+    end
+    else 0
+  | Remove k ->
+    let prev = ix.Index_ops.find k in
+    if ix.Index_ops.remove k then begin
+      (match prev with
+      | Some tid -> Table.mark_dead table tid
+      | None -> ());
+      1
+    end
+    else 0
+  | Update (k, tid) ->
+    let prev = ix.Index_ops.find k in
+    if ix.Index_ops.update k tid then begin
+      (match prev with
+      | Some old when old <> tid -> Table.mark_dead table old
+      | Some _ | None -> ());
+      Table.mark_live table tid;
+      1
+    end
+    else 0
+  | Find _ | Scan _ -> apply ix collect op
+
 let complete w =
   Mutex.lock w.wlock;
   w.pending <- w.pending - 1;
   if w.pending = 0 then Condition.signal w.wcond;
   Mutex.unlock w.wlock
 
-let shard_loop t ~batch i =
-  let ix = (Shard.parts t.router).(i) in
-  let q = t.queues.(i) in
+(* Apply one sub-batch.  Per operation: first draw the crash and poison
+   sites (either escapes the loop and kills the domain — the crash as a
+   distinct exception, the poison as [Invariant.Broken], i.e. the
+   signature of real structural corruption); then apply, absorbing a
+   transient {!Fault.Injected} from the part itself as a rejected op. *)
+let shard_apply t i (st : shard_state) sub =
+  let parts = Shard.parts t.router in
+  let n = Array.length sub.sops in
+  for j = 0 to n - 1 do
+    (match st.faults with
+    | Some f ->
+      if Fault.fire f.crash then raise (Crashed (Fault.name f.crash));
+      if Fault.fire f.poison then
+        Invariant.brokenf "Serve: injected poison at shard %d" i
+    | None -> ());
+    let r =
+      try
+        match t.supervisor with
+        | Some scfg -> apply_logged scfg.table parts.(i) sub.collect sub.sops.(j)
+        | None -> apply parts.(i) sub.collect sub.sops.(j)
+      with Fault.Injected _ -> rejected_code
+    in
+    sub.results.(sub.dest.(j)) <- r
+  done
+
+let shard_loop t i ~gen q =
+  let st = t.shards.(i) in
   let rec loop () =
-    match Mpsc_queue.pop_batch q ~max:batch with
+    match Mpsc_queue.pop_batch q ~max:t.batch with
     | [] -> ()  (* closed and drained: the domain exits *)
     | msgs ->
-      List.iter
-        (fun msg ->
-          match msg with
-          | Set_bound b -> ix.Index_ops.set_size_bound b
-          | Work sub ->
-            let n = Array.length sub.sops in
-            for j = 0 to n - 1 do
-              sub.results.(sub.dest.(j)) <-
-                apply ix sub.collect sub.sops.(j)
-            done;
-            complete sub.waiter)
-        msgs;
-      (* Publish the size the coordinator rebalances from.  Every
-         registry index tracks its size in O(1); the elastic OLC tree's
-         tracker is additionally safe under concurrent mutation. *)
-      Atomic.set t.sizes.(i) (ix.Index_ops.memory_bytes ());
-      ignore (Atomic.fetch_and_add t.batches (List.length msgs));
-      loop ()
+      (* Generation fence: a wedged domain the supervisor abandoned and
+         replaced must not apply or acknowledge anything if it wakes. *)
+      if Atomic.get st.gen = gen then begin
+        List.iter
+          (fun msg ->
+            match msg with
+            | Set_bound b ->
+              (Shard.parts t.router).(i).Index_ops.set_size_bound b
+            | Work sub -> (
+              match shard_apply t i st sub with
+              | () -> complete sub.waiter
+              | exception e ->
+                (* Dying mid-sub: park the failure before waking the
+                   client — a client that observed the timeout must
+                   also observe the fleet as unhealthy until recovery
+                   completes — then let the exception reach the
+                   supervisor.  Applied slots stand; untouched slots
+                   read as timed out. *)
+                Atomic.set st.failed (Some e);
+                complete sub.waiter;
+                raise e))
+          msgs;
+        (* Publish the size the coordinator rebalances from.  Every
+           registry index tracks its size in O(1); the elastic OLC
+           tree's tracker is additionally safe under concurrent
+           mutation. *)
+        Atomic.set t.sizes.(i)
+          ((Shard.parts t.router).(i).Index_ops.memory_bytes ());
+        Atomic.incr st.heartbeat;
+        ignore (Atomic.fetch_and_add t.batches (List.length msgs));
+        loop ()
+      end
   in
-  loop ()
+  try loop ()
+  with e -> (
+    (match Atomic.get st.failed with
+    | Some _ -> ()  (* already parked at the point of death *)
+    | None -> Atomic.set st.failed (Some e));
+    match t.supervisor with
+    | Some _ -> ()  (* the supervisor joins this domain and recovers *)
+    | None -> raise e)
 
 (* --- Coordinator ----------------------------------------------------- *)
 
 (* Demand-weighted split of the global bound: shard i gets
    [G * (lambda * size_i / total + (1 - lambda) / n)], floored at
    [min_fraction] of the even share, then scaled so the bounds sum to
-   [G].  Delivered through the queues so only the owning domain touches
-   its index. *)
-let rebalance t cfg =
-  let n = Array.length t.queues in
-  let sizes = Array.map Atomic.get t.sizes in
-  let total = Array.fold_left ( + ) 0 sizes in
-  let g = float_of_int cfg.global_bound in
-  let nf = float_of_int n in
-  let lambda = cfg.demand_weight in
-  let floor_share = cfg.min_fraction *. g /. nf in
-  let raw =
+   [G].  Pure — the unit the coordinator edge-case tests drive. *)
+let split_bounds cfg ~sizes =
+  let n = Array.length sizes in
+  if n = 0 then [||]
+  else begin
+    let total = Array.fold_left ( + ) 0 sizes in
+    let g = float_of_int cfg.global_bound in
+    let nf = float_of_int n in
+    let lambda = cfg.demand_weight in
+    let floor_share = cfg.min_fraction *. g /. nf in
+    let raw =
+      Array.map
+        (fun s ->
+          let share =
+            if total = 0 then g /. nf
+            else
+              g
+              *. ((lambda *. float_of_int s /. float_of_int total)
+                 +. ((1. -. lambda) /. nf))
+          in
+          if Float.compare share floor_share < 0 then floor_share else share)
+        sizes
+    in
+    let sum = Array.fold_left ( +. ) 0. raw in
     Array.map
-      (fun s ->
-        let share =
-          if total = 0 then g /. nf
-          else
-            g
-            *. ((lambda *. float_of_int s /. float_of_int total)
-               +. ((1. -. lambda) /. nf))
+      (fun r ->
+        let b =
+          if Float.compare sum 0. > 0 then int_of_float (r *. g /. sum)
+          else int_of_float (g /. nf)
         in
-        if Float.compare share floor_share < 0 then floor_share else share)
-      sizes
-  in
-  let sum = Array.fold_left ( +. ) 0. raw in
+        if b < 1 then 1 else b)
+      raw
+  end
+
+(* Deliver through the queues so only the owning domain touches its
+   index.  Control messages bypass the fault sites ([inject:false]) —
+   coordinator timing is not deterministic, and must not perturb the
+   workload's fault schedule.  A queue closed for recovery just misses
+   this round's bound; the next pass delivers a fresh one. *)
+let rebalance t cfg =
+  let bounds = split_bounds cfg ~sizes:(Array.map Atomic.get t.sizes) in
   Array.iteri
-    (fun i r ->
-      let b = int_of_float (r *. g /. sum) in
-      let b = if b < 1 then 1 else b in
-      ignore (Mpsc_queue.push t.queues.(i) (Set_bound b)))
-    raw;
+    (fun i b ->
+      match
+        Mpsc_queue.push ~inject:false (Atomic.get t.shards.(i).queue)
+          (Set_bound b)
+      with
+      | () -> ()
+      | exception Mpsc_queue.Closed -> ())
+    bounds;
   ignore (Atomic.fetch_and_add t.rebalances 1)
 
-let coordinator_loop t cfg =
-  (* Sleep in short slices so [stop] is prompt. *)
-  let slice = 0.01 in
-  let rec pause left =
+(* Sleep in short slices so [stop] is prompt. *)
+let pause t ~slice total =
+  let rec go left =
     if Float.compare left 0. > 0 && not (Atomic.get t.stopping) then begin
       Unix.sleepf (if Float.compare left slice < 0 then left else slice);
-      pause (left -. slice)
+      go (left -. slice)
     end
   in
+  go total
+
+let coordinator_loop t cfg =
   while not (Atomic.get t.stopping) do
-    pause cfg.interval_s;
+    pause t ~slice:0.01 cfg.interval_s;
     if not (Atomic.get t.stopping) then rebalance t cfg
+  done
+
+(* --- Supervisor ------------------------------------------------------ *)
+
+let make_queue ~fault_prefix ~capacity i =
+  match fault_prefix with
+  | Some p ->
+    Mpsc_queue.create
+      ~fault_prefix:(Printf.sprintf "%s.queue.shard%d" p i)
+      ~capacity ()
+  | None -> Mpsc_queue.create ~capacity ()
+
+let append_recovery t r =
+  Mutex.lock t.log_lock;
+  t.log <- r :: t.log;
+  Mutex.unlock t.log_lock;
+  Atomic.incr t.recoveries_n
+
+(* Close the dead shard's queue — waking any producer blocked on it —
+   and fail whatever was pending: completing the waiters lets clients
+   observe [Timed_out] on the unapplied slots instead of hanging. *)
+let drain_and_fail q =
+  Mpsc_queue.close q;
+  let rec go () =
+    match Mpsc_queue.pop_batch q ~max:64 with
+    | [] -> ()
+    | msgs ->
+      List.iter
+        (function Work sub -> complete sub.waiter | Set_bound _ -> ())
+        msgs;
+      go ()
+  in
+  go ()
+
+(* The recovery sequence: quarantine, fence, reap, fail pending work,
+   rebuild from the row table, swap part and queue, re-spawn, re-admit.
+   Runs on the supervisor domain only. *)
+let recover t scfg i ~cause =
+  let st = t.shards.(i) in
+  Atomic.set st.status st_quarantined;
+  Atomic.incr st.gen;
+  (match st.domain with Some d -> Domain.join d | None -> ());
+  st.domain <- None;
+  drain_and_fail (Atomic.get st.queue);
+  (* Rebuild under the quarantine lock so degraded direct reads never
+     see a half-built part.  [fold_live] over the row table replays
+     exactly the acknowledged writes; rows of other shards may be
+     marked concurrently by their (healthy) domains, but those are
+     filtered out by routing, and this shard's rows are quiescent —
+     its writes are backing off until re-admission.  A transient
+     injected fault from the fresh part is retried until the row
+     lands: a rebuild must not shed acknowledged rows. *)
+  Mutex.lock st.qlock;
+  let fresh = scfg.rebuild i in
+  let rows = ref 0 in
+  Table.fold_live scfg.table
+    (fun tid key () ->
+      if Shard.shard_of_key t.router key = i then begin
+        let rec ins () =
+          match fresh.Index_ops.insert key tid with
+          | _ -> ()
+          | exception Fault.Injected _ -> ins ()
+        in
+        ins ();
+        incr rows
+      end)
+    ();
+  (Shard.parts t.router).(i) <- fresh;
+  Atomic.set t.sizes.(i) (fresh.Index_ops.memory_bytes ());
+  Mutex.unlock st.qlock;
+  Atomic.set st.failed None;
+  let q =
+    make_queue ~fault_prefix:t.fault_prefix ~capacity:t.queue_capacity i
+  in
+  Atomic.set st.queue q;
+  let gen = Atomic.get st.gen in
+  st.domain <- Some (Domain.spawn (fun () -> shard_loop t i ~gen q));
+  Atomic.set st.status st_running;
+  append_recovery t { r_shard = i; r_cause = cause; r_rows = !rows }
+
+let supervisor_loop t scfg =
+  let n = Array.length t.shards in
+  let last_hb = Array.make n (-1) in
+  let stalled_since = Array.make n 0. in
+  let pass () =
+    let tnow = now () in
+    for i = 0 to n - 1 do
+      let st = t.shards.(i) in
+      match Atomic.get st.failed with
+      | Some e -> recover t scfg i ~cause:(Printexc.to_string e)
+      | None ->
+        let hb = Atomic.get st.heartbeat in
+        let busy = Mpsc_queue.length (Atomic.get st.queue) > 0 in
+        if (not busy) || hb <> last_hb.(i) then begin
+          last_hb.(i) <- hb;
+          stalled_since.(i) <- tnow
+        end
+        else if
+          Float.compare (tnow -. stalled_since.(i)) scfg.stall_timeout_s > 0
+        then begin
+          (* Wedged: work queued, heartbeat frozen, domain not dead.  It
+             cannot be joined; abandon it — the generation fence keeps
+             it from acknowledging anything if it ever wakes. *)
+          (match st.domain with
+          | Some d -> st.abandoned <- d :: st.abandoned
+          | None -> ());
+          st.domain <- None;
+          last_hb.(i) <- -1;
+          stalled_since.(i) <- tnow;
+          recover t scfg i ~cause:"wedged: heartbeat stalled under load"
+        end
+    done
+  in
+  while not (Atomic.get t.stopping) do
+    pause t ~slice:0.001 scfg.poll_interval_s;
+    if not (Atomic.get t.stopping) then pass ()
   done
 
 (* --- Lifecycle ------------------------------------------------------- *)
 
-let start ?(queue_capacity = 64) ?(batch = 32) ?coordinator router =
+let start ?(queue_capacity = 64) ?(batch = 32) ?coordinator ?supervisor
+    ?fault_prefix ?timeout_s router =
   let n = Shard.shard_count router in
+  let shards =
+    Array.init n (fun i ->
+        {
+          queue = Atomic.make (make_queue ~fault_prefix ~capacity:queue_capacity i);
+          status = Atomic.make st_running;
+          gen = Atomic.make 0;
+          heartbeat = Atomic.make 0;
+          failed = Atomic.make None;
+          qlock = Mutex.create ();
+          faults =
+            (match fault_prefix with
+            | Some p ->
+              Some
+                {
+                  crash = Fault.site (Printf.sprintf "%s.crash.shard%d" p i);
+                  poison = Fault.site (Printf.sprintf "%s.poison.shard%d" p i);
+                }
+            | None -> None);
+          domain = None;
+          abandoned = [];
+        })
+  in
   let t =
     {
       router;
-      queues = Array.init n (fun _ -> Mpsc_queue.create ~capacity:queue_capacity);
+      shards;
       sizes = Array.init n (fun _ -> Atomic.make 0);
       batches = Atomic.make 0;
       rebalances = Atomic.make 0;
+      recoveries_n = Atomic.make 0;
       coordinator;
+      supervisor;
+      timeout_s;
+      batch;
+      queue_capacity;
+      fault_prefix;
       stopping = Atomic.make false;
-      domains = [];
+      log_lock = Mutex.create ();
+      log = [];
+      aux = [];
     }
   in
   Array.iteri
     (fun i ix -> Atomic.set t.sizes.(i) (ix.Index_ops.memory_bytes ()))
     (Shard.parts router);
-  let shards =
-    List.init n (fun i -> Domain.spawn (fun () -> shard_loop t ~batch i))
-  in
-  let coord =
+  Array.iteri
+    (fun i st ->
+      let q = Atomic.get st.queue in
+      st.domain <- Some (Domain.spawn (fun () -> shard_loop t i ~gen:0 q)))
+    t.shards;
+  let aux =
     match coordinator with
     | Some cfg -> [ Domain.spawn (fun () -> coordinator_loop t cfg) ]
     | None -> []
   in
-  t.domains <- shards @ coord;
+  let aux =
+    match supervisor with
+    | Some cfg -> Domain.spawn (fun () -> supervisor_loop t cfg) :: aux
+    | None -> aux
+  in
+  t.aux <- aux;
   t
 
 let stop t =
   Atomic.set t.stopping true;
-  Array.iter Mpsc_queue.close t.queues;
-  List.iter Domain.join t.domains;
-  t.domains <- []
+  (* Supervisor and coordinator first, so no recovery re-spawns a shard
+     after its queue is closed below. *)
+  List.iter Domain.join t.aux;
+  t.aux <- [];
+  Array.iter (fun st -> Mpsc_queue.close (Atomic.get st.queue)) t.shards;
+  Array.iter
+    (fun st ->
+      (match st.domain with Some d -> Domain.join d | None -> ());
+      st.domain <- None)
+    t.shards
 
 let router t = t.router
 let shard_sizes t = Array.map Atomic.get t.sizes
 let batches t = Atomic.get t.batches
 let rebalances t = Atomic.get t.rebalances
+let recoveries t = Atomic.get t.recoveries_n
+
+let recovery_log t =
+  Mutex.lock t.log_lock;
+  let l = List.rev t.log in
+  Mutex.unlock t.log_lock;
+  List.map (fun r -> (r.r_shard, r.r_cause, r.r_rows)) l
+
+let quarantined t =
+  Array.map (fun st -> Atomic.get st.status = st_quarantined) t.shards
+
+let healthy t =
+  Array.for_all
+    (fun st ->
+      Atomic.get st.status = st_running
+      && (match Atomic.get st.failed with None -> true | Some _ -> false))
+    t.shards
 
 let rebalance_now t =
   match t.coordinator with Some cfg -> rebalance t cfg | None -> ()
+
+let rebalance_with t cfg = rebalance t cfg
 
 (* --- Client side ----------------------------------------------------- *)
 
 let op_key = function
   | Insert (k, _) | Remove k | Update (k, _) | Find k | Scan (k, _) -> k
 
-(* One round: group (slot, shard, op) triples by shard, enqueue a
-   sub-batch per shard, block until all are applied.  Results land in
-   [results] at each triple's slot. *)
-let run_round t ?collect results triples =
-  let nshards = Array.length t.queues in
+let is_read = function
+  | Find _ | Scan _ -> true
+  | Insert _ | Remove _ | Update _ -> false
+
+(* Degraded read on a quarantined shard: direct, single-threaded,
+   serialised against the rebuild by the quarantine lock.  A transient
+   injected fault or structural poison surfaces as a rejected op — the
+   degraded path must stay up even when the part is sick. *)
+let direct_read t s collect op =
+  let st = t.shards.(s) in
+  Mutex.lock st.qlock;
+  let r =
+    match apply (Shard.parts t.router).(s) collect op with
+    | v -> Ok v
+    | exception e -> Error e
+  in
+  Mutex.unlock st.qlock;
+  match r with
+  | Ok v -> v
+  | Error (Fault.Injected _) | Error (Ei_util.Invariant.Broken _) ->
+    rejected_code
+  | Error e -> raise e
+
+let backoff_s attempt =
+  let b = 0.001 *. float_of_int (1 lsl min attempt 6) in
+  if Float.compare b 0.05 > 0 then 0.05 else b
+
+(* Submit one sub-batch to its shard, riding out recovery.  Running:
+   enqueue (only the first attempt draws the queue fault sites — a
+   retry must not re-draw the schedule).  Quarantined: answer the reads
+   directly now, then keep backing off with the writes until the shard
+   is re-admitted or the deadline passes.  [Closed] from a push means
+   the queue is being recycled (or refused by fault): back off and
+   re-resolve the current queue. *)
+let rec submit_sub t ~deadline s sub attempt =
+  let st = t.shards.(s) in
+  let expired () =
+    match deadline with
+    | Some dl -> Float.compare (now ()) dl >= 0
+    | None -> false
+  in
+  if Atomic.get t.stopping || expired () then complete sub.waiter
+  else if Atomic.get st.status = st_running then begin
+    match Mpsc_queue.push ~inject:(attempt = 0) (Atomic.get st.queue) (Work sub) with
+    | () -> ()
+    | exception Mpsc_queue.Closed ->
+      Unix.sleepf (backoff_s attempt);
+      submit_sub t ~deadline s sub (attempt + 1)
+  end
+  else begin
+    let writes = ref [] in
+    Array.iteri
+      (fun j o ->
+        if is_read o then begin
+          if sub.results.(sub.dest.(j)) = pending_code then
+            sub.results.(sub.dest.(j)) <- direct_read t s sub.collect o
+        end
+        else writes := j :: !writes)
+      sub.sops;
+    match List.rev !writes with
+    | [] -> complete sub.waiter
+    | ws ->
+      let sops = Array.of_list (List.map (fun j -> sub.sops.(j)) ws) in
+      let dest = Array.of_list (List.map (fun j -> sub.dest.(j)) ws) in
+      Unix.sleepf (backoff_s attempt);
+      submit_sub t ~deadline s { sub with sops; dest } (attempt + 1)
+  end
+
+(* Block until every sub-batch completed, or poll until the deadline
+   (the stdlib has no timed condition wait).  On timeout the client
+   just walks away: a shard domain writing into the results array
+   afterwards stores into slots this client already classified as
+   [Timed_out] — word-sized stores, never reread. *)
+let wait_waiter w ~deadline =
+  match deadline with
+  | None ->
+    Mutex.lock w.wlock;
+    while w.pending > 0 do
+      Condition.wait w.wcond w.wlock
+    done;
+    Mutex.unlock w.wlock
+  | Some dl ->
+    let rec spin () =
+      Mutex.lock w.wlock;
+      let left = w.pending in
+      Mutex.unlock w.wlock;
+      if left > 0 && Float.compare (now ()) dl < 0 then begin
+        Unix.sleepf 0.0002;
+        spin ()
+      end
+    in
+    spin ()
+
+(* One round: group (slot, shard, op) triples by shard, submit a
+   sub-batch per shard, wait.  Results land in [results] at each
+   triple's slot. *)
+let run_round t ?collect ~deadline results triples =
+  let nshards = Array.length t.shards in
   let counts = Array.make nshards 0 in
   List.iter (fun (_, s, _) -> counts.(s) <- counts.(s) + 1) triples;
   let active = ref 0 in
@@ -262,48 +722,70 @@ let run_round t ?collect results triples =
     Array.iteri
       (fun s sub ->
         match sub with
-        | Some sub ->
-          if not (Mpsc_queue.push t.queues.(s) (Work sub)) then
-            (* Queue closed mid-shutdown: count the sub-batch as done;
-               its slots keep their defaults. *)
-            complete waiter
+        | Some sub -> submit_sub t ~deadline s sub 0
         | None -> ())
       subs;
-    Mutex.lock waiter.wlock;
-    while waiter.pending > 0 do
-      Condition.wait waiter.wcond waiter.wlock
-    done;
-    Mutex.unlock waiter.wlock
+    wait_waiter waiter ~deadline
   end
 
-let exec ?collect t (ops : op array) =
+let exec ?collect ?timeout_s t (ops : op array) =
   let n = Array.length ops in
-  let results = Array.make n (-1) in
+  let outcomes = Array.make n Timed_out in
   if n > 0 then begin
-    let nshards = Array.length t.queues in
+    let timeout = match timeout_s with Some _ as s -> s | None -> t.timeout_s in
+    let deadline = Option.map (fun s -> now () +. s) timeout in
+    let nshards = Array.length t.shards in
+    let results = Array.make n pending_code in
     let first =
       List.init n (fun i ->
           (i, Shard.shard_of_key t.router (op_key ops.(i)), ops.(i)))
     in
-    run_round t ?collect results first;
+    run_round t ?collect ~deadline results first;
     (* Scans that exhausted their shard continue into the next one; the
        partition is monotone in key order, so the start key is
-       unchanged.  Each round accumulates into [acc]. *)
+       unchanged.  Each round accumulates into [acc]; a round that
+       fails (sentinel in the slot) fixes the scan's fate — a partial
+       scan is not silently passed off as complete. *)
     let acc = Array.make n 0 in
     let cur = Array.make n 0 in
+    let fate = Array.make n None in
+    (* Scans with a round in flight: only these are re-examined after
+       each round — a scan that already settled must not be reread
+       (its slot was recycled to the pending sentinel). *)
+    let live = Array.make n false in
     List.iter (fun (i, s, _) -> cur.(i) <- s) first;
+    Array.iteri
+      (fun i op ->
+        match op with
+        | Scan _ -> live.(i) <- true
+        | Insert _ | Remove _ | Update _ | Find _ -> ())
+      ops;
     let continuations () =
       let out = ref [] in
       for i = n - 1 downto 0 do
-        match ops.(i) with
-        | Scan (k, want) ->
-          acc.(i) <- acc.(i) + results.(i);
-          results.(i) <- 0;
-          if acc.(i) < want && cur.(i) + 1 < nshards then begin
-            cur.(i) <- cur.(i) + 1;
-            out := (i, cur.(i), Scan (k, want - acc.(i))) :: !out
-          end
-        | Insert _ | Remove _ | Update _ | Find _ -> ()
+        if live.(i) then begin
+          match ops.(i) with
+          | Scan (k, want) ->
+            let r = results.(i) in
+            if r = pending_code then begin
+              fate.(i) <- Some Timed_out;
+              live.(i) <- false
+            end
+            else if r = rejected_code then begin
+              fate.(i) <- Some Rejected;
+              live.(i) <- false
+            end
+            else begin
+              acc.(i) <- acc.(i) + r;
+              results.(i) <- pending_code;
+              if acc.(i) < want && cur.(i) + 1 < nshards then begin
+                cur.(i) <- cur.(i) + 1;
+                out := (i, cur.(i), Scan (k, want - acc.(i))) :: !out
+              end
+              else live.(i) <- false
+            end
+          | Insert _ | Remove _ | Update _ | Find _ -> live.(i) <- false
+        end
       done;
       !out
     in
@@ -311,18 +793,24 @@ let exec ?collect t (ops : op array) =
       match continuations () with
       | [] -> ()
       | conts ->
-        run_round t ?collect results conts;
+        run_round t ?collect ~deadline results conts;
         settle ()
     in
     settle ();
     Array.iteri
       (fun i op ->
-        match op with
-        | Scan _ -> results.(i) <- acc.(i)
-        | Insert _ | Remove _ | Update _ | Find _ -> ())
+        outcomes.(i) <-
+          (match op with
+          | Scan _ -> (
+            match fate.(i) with Some o -> o | None -> Applied acc.(i))
+          | Insert _ | Remove _ | Update _ | Find _ ->
+            let r = results.(i) in
+            if r = pending_code then Timed_out
+            else if r = rejected_code then Rejected
+            else Applied r))
       ops
   end;
-  results
+  outcomes
 
 (* --- The serving layer as a uniform index ---------------------------- *)
 
@@ -333,16 +821,36 @@ let index_ops ?(name = "served") t =
     Index_ops.name;
     backend = Index_ops.B_composite parts;
     key_len = Shard.key_len t.router;
-    insert = (fun k tid -> one (Insert (k, tid)) = 1);
-    remove = (fun k -> one (Remove k) = 1);
-    update = (fun k tid -> one (Update (k, tid)) = 1);
+    insert =
+      (fun k tid ->
+        match one (Insert (k, tid)) with
+        | Applied r -> r = 1
+        | Rejected | Timed_out -> false);
+    remove =
+      (fun k ->
+        match one (Remove k) with
+        | Applied r -> r = 1
+        | Rejected | Timed_out -> false);
+    update =
+      (fun k tid ->
+        match one (Update (k, tid)) with
+        | Applied r -> r = 1
+        | Rejected | Timed_out -> false);
     find =
       (fun k ->
-        let r = one (Find k) in
-        if r < 0 then None else Some r);
-    scan = (fun start n -> one (Scan (start, n)));
+        match one (Find k) with
+        | Applied tid when tid >= 0 -> Some tid
+        | Applied _ | Rejected | Timed_out -> None);
+    scan =
+      (fun start n ->
+        match one (Scan (start, n)) with
+        | Applied c -> c
+        | Rejected | Timed_out -> 0);
     scan_keys =
-      (fun start n visit -> (exec ~collect:visit t [| Scan (start, n) |]).(0));
+      (fun start n visit ->
+        match (exec ~collect:visit t [| Scan (start, n) |]).(0) with
+        | Applied c -> c
+        | Rejected | Timed_out -> 0);
     memory_bytes =
       (* published sizes: safe to read while shard domains run *)
       (fun () -> Array.fold_left ( + ) 0 (shard_sizes t));
@@ -354,12 +862,18 @@ let index_ops ?(name = "served") t =
       (* even split through the queues; the periodic coordinator's
          demand-weighted split supersedes it at the next interval *)
       (fun bound ->
-        let per = max 1 (bound / Array.length t.queues) in
+        let per = max 1 (bound / Array.length t.shards) in
         Array.iter
-          (fun q -> ignore (Mpsc_queue.push q (Set_bound per)))
-          t.queues);
+          (fun st ->
+            match
+              Mpsc_queue.push ~inject:false (Atomic.get st.queue)
+                (Set_bound per)
+            with
+            | () -> ()
+            | exception Mpsc_queue.Closed -> ())
+          t.shards);
     info =
       (fun () ->
-        Printf.sprintf "%d shards, %d batches, %d rebalances"
-          (Array.length parts) (batches t) (rebalances t));
+        Printf.sprintf "%d shards, %d batches, %d rebalances, %d recoveries"
+          (Array.length parts) (batches t) (rebalances t) (recoveries t));
   }

@@ -1,5 +1,5 @@
 (** Domain-per-shard serving layer with a global elastic memory
-    coordinator.
+    coordinator and a self-healing shard supervisor.
 
     Each shard of a {!Shard.t} is owned by one domain draining a
     bounded MPSC request queue in batches; exclusive ownership makes
@@ -12,7 +12,22 @@
     The coordinator (optional) periodically re-splits one global soft
     size bound across the shards from their published sizes — the
     paper's elasticity policy lifted from one tree to the fleet: hot
-    shards keep more standard leaves, cold shards compact first. *)
+    shards keep more standard leaves, cold shards compact first.
+
+    The supervisor (optional) makes the fleet self-healing: a shard
+    domain that dies or wedges is detected (parked exception /
+    heartbeat stall), its shard quarantined — reads degrade to direct
+    single-threaded access, writes back off exponentially until
+    re-admission or their deadline — its part rebuilt from the
+    {!Ei_storage.Table} row table (the source of truth: supervised
+    shard domains maintain per-row liveness as they apply), and a
+    fresh domain re-admitted.  Recovery never loses an acknowledged
+    write: only applied operations mark the table.
+
+    Fault injection ({!Ei_fault.Fault}): [start ~fault_prefix:p] arms
+    sites [p.crash.shard<i>], [p.poison.shard<i>] and
+    [p.queue.shard<i>.{drop,delay,refuse}] — all inert until a fault
+    plan is configured. *)
 
 type op =
   | Insert of string * int
@@ -20,6 +35,23 @@ type op =
   | Update of string * int
   | Find of string
   | Scan of string * int
+
+(** Per-operation result of {!exec}. *)
+type outcome =
+  | Applied of int
+      (** applied; the int is the op's result — insert / remove /
+          update 1 if it took effect else 0, find the tid or -1, scan
+          the visited count *)
+  | Rejected
+      (** shed by a transient injected fault; safe to retry — the
+          operation was not applied *)
+  | Timed_out
+      (** not acknowledged before the deadline (or failed by a shard
+          crash): the operation may or may not have been applied *)
+
+exception Crashed of string
+(** An injected shard-domain crash (carries the fault site name);
+    escapes into the supervisor, never to clients. *)
 
 type coordinator_config = {
   global_bound : int;  (** bytes, split across the fleet *)
@@ -34,34 +66,70 @@ type coordinator_config = {
 val default_coordinator : global_bound:int -> coordinator_config
 (** 50 ms interval, [demand_weight = 0.5], [min_fraction = 0.5]. *)
 
+val split_bounds : coordinator_config -> sizes:int array -> int array
+(** The coordinator's split as a pure function: demand-weighted,
+    floored at [min_fraction] of the even share, renormalised to sum
+    to [global_bound], each bound at least 1.  [[||]] for an empty
+    fleet. *)
+
+type supervisor_config = {
+  table : Ei_storage.Table.t;
+      (** the row table recoveries rebuild from; supervised shard
+          domains maintain its per-row liveness as they apply *)
+  rebuild : int -> Ei_harness.Index_ops.t;
+      (** fresh, empty part for shard [i] (same kind/key_len as the
+          one it replaces) *)
+  poll_interval_s : float;  (** seconds between supervisor passes *)
+  stall_timeout_s : float;
+      (** heartbeat silence under queued load that diagnoses a wedged
+          domain *)
+}
+
+val default_supervisor :
+  table:Ei_storage.Table.t ->
+  rebuild:(int -> Ei_harness.Index_ops.t) ->
+  supervisor_config
+(** 2 ms poll interval, 1 s stall timeout. *)
+
 type t
 
 val start :
   ?queue_capacity:int ->
   ?batch:int ->
   ?coordinator:coordinator_config ->
+  ?supervisor:supervisor_config ->
+  ?fault_prefix:string ->
+  ?timeout_s:float ->
   Shard.t ->
   t
-(** Spawn one domain per shard (plus the coordinator domain when
-    configured).  [queue_capacity] bounds each shard's request queue
-    (producers block when full); [batch] caps the sub-batches drained
-    per wakeup. *)
+(** Spawn one domain per shard (plus the coordinator and supervisor
+    domains when configured).  [queue_capacity] bounds each shard's
+    request queue (producers block when full); [batch] caps the
+    sub-batches drained per wakeup; [fault_prefix] arms the injection
+    sites; [timeout_s] is the default {!exec} deadline (none: block
+    until applied). *)
 
 val stop : t -> unit
-(** Close the queues, drain remaining work, join all domains.  The
-    underlying indexes remain usable single-threaded afterwards. *)
+(** Join the coordinator and supervisor, close the queues, drain
+    remaining work, join all shard domains.  The underlying indexes
+    remain usable single-threaded afterwards. *)
 
-val exec : ?collect:(string -> unit) -> t -> op array -> int array
-(** Apply a batch: partition by shard, enqueue one sub-batch per shard,
-    block until all are applied.  Results positionally: insert / remove
-    / update 1 if applied else 0; find the tid or -1; scan the visited
-    count.  Scans continue across shards until satisfied.  [collect]
-    receives every key visited by scan ops (shared by all scans in the
-    batch). *)
+val exec : ?collect:(string -> unit) -> ?timeout_s:float -> t -> op array -> outcome array
+(** Apply a batch: partition by shard, enqueue one sub-batch per
+    shard, block until every sub-batch settles or the deadline
+    ([timeout_s], defaulting to the [start] value) passes.  Outcomes
+    are positional.  Scans continue across shards until satisfied; a
+    scan whose continuation fails reports the failure, never a partial
+    count as if complete.  [collect] receives every key visited by
+    scan ops (shared by all scans in the batch).  On a quarantined
+    shard, reads are answered directly (degraded single-threaded
+    path) and writes retry with exponential backoff until re-admission
+    or the deadline. *)
 
 val index_ops : ?name:string -> t -> Ei_harness.Index_ops.t
 (** Blocking single-op facade over {!exec} ([backend = B_composite]).
-    [memory_bytes] sums the published shard sizes (safe under
+    Rejected / timed-out ops surface as failures ([false] / [None] /
+    0).  [memory_bytes] sums the published shard sizes (safe under
     concurrency); [count] walks the parts (quiesce mutators first). *)
 
 val router : t -> Shard.t
@@ -74,6 +142,31 @@ val batches : t -> int
 val rebalances : t -> int
 (** Coordinator passes completed so far. *)
 
+val recoveries : t -> int
+(** Shard recoveries completed so far. *)
+
+val recovery_log : t -> (int * string * int) list
+(** Completed recoveries, oldest first: shard index, cause (printed
+    exception or wedge diagnosis), live rows reinserted from the row
+    table. *)
+
+val quarantined : t -> bool array
+(** Per-shard quarantine flags (racy snapshot: a shard may be
+    re-admitted concurrently). *)
+
+val healthy : t -> bool
+(** No shard is quarantined and no failure is awaiting recovery.  A
+    shard-domain death parks its failure before acknowledging the
+    in-flight batch, so a client that saw a [Timed_out] caused by a
+    crash observes [healthy = false] until that shard is rebuilt and
+    re-admitted — the barrier the deterministic chaos soak spins on. *)
+
 val rebalance_now : t -> unit
 (** Run one coordinator pass immediately (no-op without a coordinator
     config); deterministic-test support. *)
+
+val rebalance_with : t -> coordinator_config -> unit
+(** Run one coordinator pass with an explicit config — the
+    deterministic, client-driven rebalance used by the chaos soak
+    (which runs without the coordinator domain so its fault schedule
+    stays a pure function of the seed). *)

@@ -9,12 +9,25 @@
 type t = {
   key_len : int;
   mutable keys : string array;
+  mutable live : Bytes.t;
+  (* one byte per row, '\001' = live.  Maintained by callers that treat
+     the table as the recovery source of truth (the shard supervisor);
+     rows start dead, so an append alone never resurrects into a
+     rebuild.  One whole byte per row keeps marks from two domains on
+     different rows race-free (no read-modify-write of shared bits). *)
   mutable n : int;
   mutable loads : int;  (* number of indirect key loads, for profiling *)
 }
 
 let create ?(initial_capacity = 1024) ~key_len () =
-  { key_len; keys = Array.make (max 1 initial_capacity) ""; n = 0; loads = 0 }
+  let cap = max 1 initial_capacity in
+  {
+    key_len;
+    keys = Array.make cap "";
+    live = Bytes.make cap '\000';
+    n = 0;
+    loads = 0;
+  }
 
 let length t = t.n
 let key_len t = t.key_len
@@ -23,12 +36,16 @@ let grow t =
   let cap = Array.length t.keys in
   let keys = Array.make (2 * cap) "" in
   Array.blit t.keys 0 keys 0 t.n;
-  t.keys <- keys
+  let live = Bytes.make (2 * cap) '\000' in
+  Bytes.blit t.live 0 live 0 t.n;
+  t.keys <- keys;
+  t.live <- live
 
 let append t key =
   assert (String.length key = t.key_len);
   if t.n = Array.length t.keys then grow t;
   t.keys.(t.n) <- key;
+  Bytes.set t.live t.n '\000';
   t.n <- t.n + 1;
   t.n - 1
 
@@ -42,6 +59,26 @@ let loader t = key t
 
 let loads t = t.loads
 let reset_loads t = t.loads <- 0
+
+(* --- Row liveness (recovery source of truth) ------------------------- *)
+
+let mark_live t tid =
+  assert (tid >= 0 && tid < t.n);
+  Bytes.set t.live tid '\001'
+
+let mark_dead t tid =
+  assert (tid >= 0 && tid < t.n);
+  Bytes.set t.live tid '\000'
+
+let is_live t tid = tid >= 0 && tid < t.n && Char.equal (Bytes.get t.live tid) '\001'
+
+let fold_live t f init =
+  let acc = ref init in
+  for tid = 0 to t.n - 1 do
+    if Char.equal (Bytes.get t.live tid) '\001' then
+      acc := f tid t.keys.(tid) !acc
+  done;
+  !acc
 
 (* Size of the row data itself (excluding any index), for the dataset-size
    baselines of §6.3: row payloads are fixed-size. *)

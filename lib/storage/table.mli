@@ -24,5 +24,21 @@ val loader : t -> int -> string
 val loads : t -> int
 val reset_loads : t -> unit
 
+(** {2 Row liveness}
+
+    Per-row live marks, maintained by callers that treat the table as
+    the recovery source of truth (the shard supervisor marks rows as
+    their index entries are applied; a rebuild replays exactly the live
+    rows).  Rows start dead on {!append}.  Marks on distinct rows are
+    safe from different domains (one byte per row, no shared
+    read-modify-write). *)
+
+val mark_live : t -> int -> unit
+val mark_dead : t -> int -> unit
+val is_live : t -> int -> bool
+
+val fold_live : t -> (int -> string -> 'a -> 'a) -> 'a -> 'a
+(** Fold [f tid key acc] over the live rows in tid order. *)
+
 val data_bytes : ?row_bytes:int -> t -> int
 (** Size of the stored row data: [n * (key_len + row_bytes)]. *)

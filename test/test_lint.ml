@@ -98,6 +98,23 @@ let test_no_abort () =
   check_clean ~display:hot
     "let f () = Ei_util.Invariant.impossible \"unreachable\"\n"
 
+(* --- no-swallow ------------------------------------------------------ *)
+
+let test_no_swallow () =
+  check_fires ~display:hot ~rule:"no-swallow"
+    "let f g = try g () with _ -> ()\n";
+  (* A named-but-unused exception swallows just the same. *)
+  check_fires ~display:hot ~rule:"no-swallow"
+    "let f g = try g () with _e -> ()\n";
+  check_fires ~display:"lib/shard/fixture.ml" ~rule:"no-swallow"
+    "let loop f = while true do (try f () with _ -> ()) done\n";
+  (* Matching a specific exception is deliberate, not swallowing. *)
+  check_clean ~display:hot "let f g = try g () with Not_found -> ()\n";
+  (* A catch-all that records or re-raises the failure is sanctioned. *)
+  check_clean ~display:hot
+    "let f g park = try g () with e -> park e; raise e\n";
+  check_clean ~display:hot "let f g d = try g () with _ -> d\n"
+
 (* --- syntax ---------------------------------------------------------- *)
 
 let test_syntax () =
@@ -149,6 +166,7 @@ let () =
           Alcotest.test_case "hashtbl" `Quick test_hashtbl;
           Alcotest.test_case "obj-magic" `Quick test_obj_magic;
           Alcotest.test_case "no-abort" `Quick test_no_abort;
+          Alcotest.test_case "no-swallow" `Quick test_no_swallow;
           Alcotest.test_case "syntax" `Quick test_syntax;
         ] );
       ( "scope",

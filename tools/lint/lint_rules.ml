@@ -279,8 +279,43 @@ let rule_no_abort =
         | _ -> ());
   }
 
+let rule_no_swallow =
+  {
+    name = "no-swallow";
+    short =
+      "a handler of the form [with _ -> ()] silently discards the \
+       exception; match the exceptions you mean and park or re-raise \
+       the rest";
+    hot_only = false;
+    check =
+      (fun ~emit _env e ->
+        match e.pexp_desc with
+        | Pexp_try (_, cases) ->
+          List.iter
+            (fun c ->
+              let unit_body =
+                match c.pc_rhs.pexp_desc with
+                | Pexp_construct ({ txt = Longident.Lident "()"; _ }, None) ->
+                  true
+                | _ -> false
+              in
+              match c.pc_lhs.ppat_desc with
+              | (Ppat_any | Ppat_var _)
+                when Option.is_none c.pc_guard && unit_body ->
+                emit ~loc:c.pc_lhs.ppat_loc ~rule:"no-swallow"
+                  "catch-all handler swallows the exception (a crashed \
+                   domain would die silently); match the exceptions you \
+                   expect, or record the failure before dropping it"
+              | _ -> ())
+            cases
+        | _ -> ());
+  }
+
 let expr_rules =
-  [ rule_poly_compare; rule_hashtbl; rule_obj_magic; rule_no_abort ]
+  [
+    rule_poly_compare; rule_hashtbl; rule_obj_magic; rule_no_abort;
+    rule_no_swallow;
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Per-file driver.                                                    *)
