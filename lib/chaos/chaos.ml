@@ -15,13 +15,18 @@
      shard domain sees a deterministic operation sequence (queue sites
      draw on the client; crash / poison / op / slash sites draw on the
      shard domain or, during a rebuild, on the supervisor — and those
-     two are serialised by the barrier below);
+     two are serialised by the domain's death and the re-spawn);
+   - every batch is submitted with [barrier:true]: {!Ei_shard.Serve}
+     then waits — per sub-batch, bounded by the deadline — for the
+     target shard to be re-admitted before submitting, so no draw ever
+     depends on whether a submission raced a recovery (in particular a
+     scan continuation landing on a shard that crashed earlier in the
+     same batch is queued after its rebuild, not answered degraded);
    - after any round containing a timed-out operation the client
-     {e barriers}: it spins until {!Ei_shard.Serve.healthy} — a crash
-     parks its failure before acknowledging the batch, so the barrier
-     cannot miss a recovery in flight.  The next round therefore
-     always starts against a fully re-admitted fleet, never racing
-     draws against a concurrent rebuild;
+     additionally spins until {!Ei_shard.Serve.healthy} — a crash
+     parks its failure before acknowledging the batch, so this cannot
+     miss a recovery in flight — keeping whole rounds aligned with
+     recoveries;
    - the coordinator domain is not used; rebalances are client-driven
      at fixed round numbers ({!Ei_shard.Serve.rebalance_with});
    - retries ([inject:false] pushes, rebuild re-inserts) never re-draw
@@ -34,9 +39,10 @@
    settled key — a lost acknowledged write or a phantom row fails the
    soak — and merely counts the unsettled ones.
 
-   The row table is pre-sized for the whole run: supervised shard
-   domains mark row liveness concurrently with client appends, and a
-   growing table would move the liveness bytes out from under them. *)
+   The row table is deliberately under-sized: client appends grow it
+   mid-run while supervised shard domains mark row liveness, which the
+   growth-stable chunked liveness store ({!Ei_storage.Table}) makes
+   safe — the soak exercises exactly that race. *)
 
 module Fault = Ei_fault.Fault
 module Table = Ei_storage.Table
@@ -124,10 +130,11 @@ let run cfg =
       (fun s -> match cfg.progress with Some f -> f s | None -> ())
       fmt
   in
-  (* Pre-sized: appends must never grow the table mid-run (see above). *)
+  (* Under-sized on purpose: appends grow the table mid-run while shard
+     domains mark liveness (see above). *)
   let table =
     Table.create
-      ~initial_capacity:(nkeys + (rounds * batch_sz) + 64)
+      ~initial_capacity:(max 64 (nkeys / 4))
       ~key_len:cfg.key_len ()
   in
   let mk_part i =
@@ -181,7 +188,7 @@ let run cfg =
           else if c < 90 then Serve.Find k
           else Serve.Scan (k, 16))
     in
-    let outs = Serve.exec serve ops in
+    let outs = Serve.exec ~barrier:true serve ops in
     Array.iteri
       (fun i out ->
         match (ops.(i), out) with
@@ -230,32 +237,31 @@ let run cfg =
   let fault_stats = Fault.stats () in
   Fault.clear ();
   let lost = ref 0 and phantoms = ref 0 and unsettled = ref 0 in
-  let keys = Strtbl.fold (fun k e acc -> (k, e) :: acc) shadow [] in
-  let chunk = 512 in
-  let rec reconcile = function
-    | [] -> ()
-    | batch_keys ->
-      let now, rest =
-        if List.length batch_keys <= chunk then (batch_keys, [])
-        else (List.filteri (fun i _ -> i < chunk) batch_keys,
-              List.filteri (fun i _ -> i >= chunk) batch_keys)
-      in
-      let arr = Array.of_list now in
-      let outs =
-        Serve.exec serve (Array.map (fun (k, _) -> Serve.Find k) arr)
-      in
-      Array.iteri
-        (fun i (_, e) ->
-          match (e, outs.(i)) with
-          | Unsettled, _ -> incr unsettled
-          | Present tid, Serve.Applied r -> if r <> tid then incr lost
-          | Present _, (Serve.Rejected | Serve.Timed_out) -> incr lost
-          | Absent, Serve.Applied r -> if r >= 0 then incr phantoms
-          | Absent, (Serve.Rejected | Serve.Timed_out) -> incr phantoms)
-        arr;
-      reconcile rest
+  (* One linear pass in 512-key windows over an array snapshot of the
+     shadow (a list-chunking reconcile would re-traverse the tail per
+     chunk, quadratic at full scale). *)
+  let entries =
+    Array.of_list (Strtbl.fold (fun k e acc -> (k, e) :: acc) shadow [])
   in
-  reconcile keys;
+  let chunk = 512 in
+  let base = ref 0 in
+  while !base < Array.length entries do
+    let len = min chunk (Array.length entries - !base) in
+    let window = Array.sub entries !base len in
+    let outs =
+      Serve.exec serve (Array.map (fun (k, _) -> Serve.Find k) window)
+    in
+    Array.iteri
+      (fun i (_, e) ->
+        match (e, outs.(i)) with
+        | Unsettled, _ -> incr unsettled
+        | Present tid, Serve.Applied r -> if r <> tid then incr lost
+        | Present _, (Serve.Rejected | Serve.Timed_out) -> incr lost
+        | Absent, Serve.Applied r -> if r >= 0 then incr phantoms
+        | Absent, (Serve.Rejected | Serve.Timed_out) -> incr phantoms)
+      window;
+    base := !base + len
+  done;
   Serve.stop serve;
   let check_errors =
     Array.fold_left
@@ -305,7 +311,12 @@ let pp_report fmt r =
     r.fault_stats
 
 (* The digest two equal-seed runs must agree on exactly: the fault
-   schedule and the recovery sequence. *)
+   schedule and, per shard, the recovery sequence.  Recoveries are
+   stable-sorted by shard first: each shard's own sequence is
+   schedule-pure, but when two shards fail in the same round the
+   supervisor may reach them in either order across runs (its polling
+   is wall-clock), so the cross-shard interleaving is not part of the
+   reproducibility claim. *)
 let schedule_digest r =
   let b = Buffer.create 256 in
   List.iter
@@ -315,5 +326,7 @@ let schedule_digest r =
   List.iter
     (fun (shard, cause, rows) ->
       Buffer.add_string b (Printf.sprintf "R%d:%s:%d;" shard cause rows))
-    r.recovery_log;
+    (List.stable_sort
+       (fun (a, _, _) (b, _, _) -> Int.compare a b)
+       r.recovery_log);
   Buffer.contents b

@@ -66,13 +66,33 @@ let create ?fault_prefix ~capacity () =
 
 (* [inject:false] bypasses the fault sites: the retry/recovery path of a
    supervisor must not re-draw the fault streams, or first-attempt
-   schedules would stop being deterministic. *)
+   schedules would stop being deterministic.
+
+   Draw protocol (shared with {!draw_faults}): refuse first — a refused
+   push draws nothing else, exactly like a real [Closed] retry path —
+   then delay and drop together, {e before} admission.  Drawing drop up
+   front keeps the per-site call counts a pure function of the fault
+   streams alone: whether the queue happens to be closed (a recovery
+   racing this push) must not add or skip a draw, or equal-seed runs
+   would diverge on schedule.  A drop decided here and refused
+   admission is indistinguishable from one applied after it. *)
+let draw t =
+  match t.faults with
+  | Some f when Fault.enabled () ->
+    if Fault.fire f.f_refuse then `Refuse
+    else begin
+      let delayed = Fault.fire f.f_delay in
+      let dropped = Fault.fire f.f_drop in
+      if delayed then Unix.sleepf 0.001;
+      if dropped then `Drop else `Pass
+    end
+  | _ -> `Pass
+
+let draw_faults t = ignore (draw t)
+
 let push ?(inject = true) t x =
-  (match t.faults with
-  | Some f when inject && Fault.enabled () ->
-    if Fault.fire f.f_refuse then raise Closed;
-    if Fault.fire f.f_delay then Unix.sleepf 0.001
-  | _ -> ());
+  let drawn = if inject then draw t else `Pass in
+  (match drawn with `Refuse -> raise Closed | `Drop | `Pass -> ());
   Mutex.lock t.lock;
   let rec admitted () =
     if t.closed then false
@@ -83,17 +103,11 @@ let push ?(inject = true) t x =
     else true
   in
   let ok = admitted () in
-  if ok then begin
-    let dropped =
-      match t.faults with
-      | Some f when inject && Fault.enabled () -> Fault.fire f.f_drop
-      | _ -> false
-    in
-    if not dropped then begin
-      t.buf.((t.head + t.len) mod t.capacity) <- Some x;
-      t.len <- t.len + 1;
-      Condition.signal t.not_empty
-    end
+  let dropped = match drawn with `Drop -> true | `Refuse | `Pass -> false in
+  if ok && not dropped then begin
+    t.buf.((t.head + t.len) mod t.capacity) <- Some x;
+    t.len <- t.len + 1;
+    Condition.signal t.not_empty
   end;
   Mutex.unlock t.lock;
   if not ok then raise Closed

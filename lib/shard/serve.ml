@@ -34,8 +34,11 @@
    {!Ei_storage.Table} row table — the source of truth for acknowledged
    writes: shard domains maintain per-row liveness as they apply —
    re-spawn the domain on a fresh queue, and re-admit the shard.  A
-   generation fence keeps an abandoned wedged domain from acknowledging
-   anything if it ever wakes.
+   per-operation generation fence keeps an abandoned wedged domain from
+   applying or acknowledging anything if it ever wakes: it stops within
+   one op, never touches the replacement part (each domain captures its
+   part at spawn), and completes — without applying — any waiters it
+   raced away from the supervisor's drain.
 
    Fault injection: [start ~fault_prefix:p] arms {!Ei_fault.Fault}
    sites [p.crash.shard<i>] (domain dies mid-batch),
@@ -126,7 +129,9 @@ type shard_state = {
   status : int Atomic.t;
   gen : int Atomic.t;  (* bumped per recovery; fences out zombies *)
   heartbeat : int Atomic.t;  (* bumped per drained batch *)
-  failed : exn option Atomic.t;  (* parked by a dying domain *)
+  failed : (int * exn) option Atomic.t;
+  (* failure parked by a dying domain, tagged with its generation: the
+     supervisor acts only on current-generation failures *)
   qlock : Mutex.t;  (* quarantined direct access vs. rebuild *)
   faults : shard_faults option;
   mutable domain : unit Domain.t option;  (* supervisor / stop only *)
@@ -213,15 +218,37 @@ let complete w =
   if w.pending = 0 then Condition.signal w.wcond;
   Mutex.unlock w.wlock
 
-(* Apply one sub-batch.  Per operation: first draw the crash and poison
-   sites (either escapes the loop and kills the domain — the crash as a
-   distinct exception, the poison as [Invariant.Broken], i.e. the
-   signature of real structural corruption); then apply, absorbing a
-   transient {!Fault.Injected} from the part itself as a rejected op. *)
-let shard_apply t i (st : shard_state) sub =
-  let parts = Shard.parts t.router in
+(* Park a failure for the supervisor, tagged with the dying domain's
+   generation.  Same-or-newer parked failures are never overwritten: an
+   abandoned zombie dying late can neither trigger a spurious recovery
+   of its healthy replacement nor clobber the replacement's own parked
+   failure.  (The supervisor clears stale-generation parks.) *)
+let rec park st ~gen e =
+  match Atomic.get st.failed with
+  | Some (g, _) when g >= gen -> ()
+  | cur ->
+    if not (Atomic.compare_and_set st.failed cur (Some (gen, e))) then
+      park st ~gen e
+
+exception Stale_generation
+
+(* Apply one sub-batch.  [part] is this domain's own part, captured
+   once at spawn: a domain must never re-read [Shard.parts] — after a
+   recovery swaps in a fresh part, an abandoned zombie re-reading the
+   array would mutate its single-owner replacement concurrently with
+   the new domain.  The generation fence is re-checked before every
+   operation, so a wedged domain that wakes mid-batch stops applying
+   (and stops drawing fault sites) within one operation.
+
+   Per operation: fence, then draw the crash and poison sites (either
+   escapes the loop and kills the domain — the crash as a distinct
+   exception, the poison as [Invariant.Broken], i.e. the signature of
+   real structural corruption); then apply, absorbing a transient
+   {!Fault.Injected} from the part itself as a rejected op. *)
+let shard_apply t i ~gen (st : shard_state) part sub =
   let n = Array.length sub.sops in
   for j = 0 to n - 1 do
+    if Atomic.get st.gen <> gen then raise Stale_generation;
     (match st.faults with
     | Some f ->
       if Fault.fire f.crash then raise (Crashed (Fault.name f.crash));
@@ -231,8 +258,8 @@ let shard_apply t i (st : shard_state) sub =
     let r =
       try
         match t.supervisor with
-        | Some scfg -> apply_logged scfg.table parts.(i) sub.collect sub.sops.(j)
-        | None -> apply parts.(i) sub.collect sub.sops.(j)
+        | Some scfg -> apply_logged scfg.table part sub.collect sub.sops.(j)
+        | None -> apply part sub.collect sub.sops.(j)
       with Fault.Injected _ -> rejected_code
     in
     sub.results.(sub.dest.(j)) <- r
@@ -240,48 +267,69 @@ let shard_apply t i (st : shard_state) sub =
 
 let shard_loop t i ~gen q =
   let st = t.shards.(i) in
+  let part = (Shard.parts t.router).(i) in
+  (* Complete the waiters of popped-but-unapplied work: the slots stay
+     at the pending sentinel, so clients observe [Timed_out] instead of
+     hanging on messages a stale domain will never apply (with no
+     deadline, an uncompleted waiter would block its client forever). *)
+  let fail_popped msgs =
+    List.iter
+      (function Work sub -> complete sub.waiter | Set_bound _ -> ())
+      msgs
+  in
   let rec loop () =
     match Mpsc_queue.pop_batch q ~max:t.batch with
     | [] -> ()  (* closed and drained: the domain exits *)
     | msgs ->
       (* Generation fence: a wedged domain the supervisor abandoned and
-         replaced must not apply or acknowledge anything if it wakes. *)
-      if Atomic.get st.gen = gen then begin
-        List.iter
-          (fun msg ->
-            match msg with
-            | Set_bound b ->
-              (Shard.parts t.router).(i).Index_ops.set_size_bound b
-            | Work sub -> (
-              match shard_apply t i st sub with
-              | () -> complete sub.waiter
-              | exception e ->
-                (* Dying mid-sub: park the failure before waking the
-                   client — a client that observed the timeout must
-                   also observe the fleet as unhealthy until recovery
-                   completes — then let the exception reach the
-                   supervisor.  Applied slots stand; untouched slots
-                   read as timed out. *)
-                Atomic.set st.failed (Some e);
-                complete sub.waiter;
-                raise e))
-          msgs;
-        (* Publish the size the coordinator rebalances from.  Every
-           registry index tracks its size in O(1); the elastic OLC
-           tree's tracker is additionally safe under concurrent
-           mutation. *)
-        Atomic.set t.sizes.(i)
-          ((Shard.parts t.router).(i).Index_ops.memory_bytes ());
-        Atomic.incr st.heartbeat;
-        ignore (Atomic.fetch_and_add t.batches (List.length msgs));
-        loop ()
+         replaced must not apply or acknowledge anything if it wakes.
+         Messages it raced away from the supervisor's [drain_and_fail]
+         are failed here, exactly as the supervisor would have. *)
+      if Atomic.get st.gen <> gen then fail_popped msgs
+      else begin
+        let rec process = function
+          | [] ->
+            (* Publish the size the coordinator rebalances from.  Every
+               registry index tracks its size in O(1); the elastic OLC
+               tree's tracker is additionally safe under concurrent
+               mutation. *)
+            Atomic.set t.sizes.(i) (part.Index_ops.memory_bytes ());
+            Atomic.incr st.heartbeat;
+            ignore (Atomic.fetch_and_add t.batches (List.length msgs));
+            loop ()
+          | Set_bound b :: rest ->
+            part.Index_ops.set_size_bound b;
+            process rest
+          | Work sub :: rest -> (
+            match shard_apply t i ~gen st part sub with
+            | () ->
+              complete sub.waiter;
+              process rest
+            | exception Stale_generation ->
+              (* Abandoned mid-batch: stop without parking — the parked
+                 slot belongs to the replacement's world — and fail
+                 whatever was popped but not applied. *)
+              complete sub.waiter;
+              fail_popped rest
+            | exception e ->
+              (* Dying mid-sub: park the failure before waking the
+                 client — a client that observed the timeout must
+                 also observe the fleet as unhealthy until recovery
+                 completes — then let the exception reach the
+                 supervisor.  Applied slots stand; untouched slots
+                 read as timed out. *)
+              park st ~gen e;
+              complete sub.waiter;
+              raise e)
+        in
+        process msgs
       end
   in
   try loop ()
-  with e -> (
-    (match Atomic.get st.failed with
-    | Some _ -> ()  (* already parked at the point of death *)
-    | None -> Atomic.set st.failed (Some e));
+  with
+  | Stale_generation -> ()
+  | e -> (
+    park st ~gen e;
     match t.supervisor with
     | Some _ -> ()  (* the supervisor joins this domain and recovers *)
     | None -> raise e)
@@ -396,20 +444,27 @@ let drain_and_fail q =
    Runs on the supervisor domain only. *)
 let recover t scfg i ~cause =
   let st = t.shards.(i) in
+  (* The quarantine lock is taken before the quarantine is published:
+     a client that observes [st_quarantined] and degrades to a direct
+     read then blocks on [qlock] until the rebuild below has swapped in
+     the fresh part, so degraded reads always see post-recovery state —
+     never the dying part mid-autopsy.  (Besides never exposing a
+     half-built or poisoned part, this keeps degraded-read results a
+     pure function of the acknowledged writes, which the deterministic
+     chaos soak relies on.) *)
+  Mutex.lock st.qlock;
   Atomic.set st.status st_quarantined;
   Atomic.incr st.gen;
   (match st.domain with Some d -> Domain.join d | None -> ());
   st.domain <- None;
   drain_and_fail (Atomic.get st.queue);
-  (* Rebuild under the quarantine lock so degraded direct reads never
-     see a half-built part.  [fold_live] over the row table replays
-     exactly the acknowledged writes; rows of other shards may be
-     marked concurrently by their (healthy) domains, but those are
-     filtered out by routing, and this shard's rows are quiescent —
-     its writes are backing off until re-admission.  A transient
-     injected fault from the fresh part is retried until the row
-     lands: a rebuild must not shed acknowledged rows. *)
-  Mutex.lock st.qlock;
+  (* [fold_live] over the row table replays exactly the acknowledged
+     writes; rows of other shards may be marked concurrently by their
+     (healthy) domains, but those are filtered out by routing, and
+     this shard's rows are quiescent — its writes are backing off
+     until re-admission.  A transient injected fault from the fresh
+     part is retried until the row lands: a rebuild must not shed
+     acknowledged rows. *)
   let fresh = scfg.rebuild i in
   let rows = ref 0 in
   Table.fold_live scfg.table
@@ -426,12 +481,12 @@ let recover t scfg i ~cause =
     ();
   (Shard.parts t.router).(i) <- fresh;
   Atomic.set t.sizes.(i) (fresh.Index_ops.memory_bytes ());
-  Mutex.unlock st.qlock;
   Atomic.set st.failed None;
   let q =
     make_queue ~fault_prefix:t.fault_prefix ~capacity:t.queue_capacity i
   in
   Atomic.set st.queue q;
+  Mutex.unlock st.qlock;
   let gen = Atomic.get st.gen in
   st.domain <- Some (Domain.spawn (fun () -> shard_loop t i ~gen q));
   Atomic.set st.status st_running;
@@ -445,8 +500,14 @@ let supervisor_loop t scfg =
     let tnow = now () in
     for i = 0 to n - 1 do
       let st = t.shards.(i) in
-      match Atomic.get st.failed with
-      | Some e -> recover t scfg i ~cause:(Printexc.to_string e)
+      let parked = Atomic.get st.failed in
+      match parked with
+      | Some (g, e) when g = Atomic.get st.gen ->
+        recover t scfg i ~cause:(Printexc.to_string e)
+      | Some _ ->
+        (* A zombie's late death from a superseded generation: clear
+           and ignore — the replacement domain is unaffected. *)
+        ignore (Atomic.compare_and_set st.failed parked None)
       | None ->
         let hb = Atomic.get st.heartbeat in
         let busy = Mpsc_queue.length (Atomic.get st.queue) > 0 in
@@ -571,12 +632,18 @@ let recovery_log t =
 let quarantined t =
   Array.map (fun st -> Atomic.get st.status = st_quarantined) t.shards
 
-let healthy t =
-  Array.for_all
-    (fun st ->
-      Atomic.get st.status = st_running
-      && (match Atomic.get st.failed with None -> true | Some _ -> false))
-    t.shards
+(* Running, with no current-generation failure awaiting recovery.  A
+   stale-generation park (an abandoned zombie dying late) does not
+   count: the replacement domain is healthy and the supervisor will
+   clear the stale slot on its next pass. *)
+let shard_ready st =
+  Atomic.get st.status = st_running
+  &&
+  match Atomic.get st.failed with
+  | None -> true
+  | Some (g, _) -> g <> Atomic.get st.gen
+
+let healthy t = Array.for_all shard_ready t.shards
 
 let rebalance_now t =
   match t.coordinator with Some cfg -> rebalance t cfg | None -> ()
@@ -621,8 +688,19 @@ let backoff_s attempt =
    directly now, then keep backing off with the writes until the shard
    is re-admitted or the deadline passes.  [Closed] from a push means
    the queue is being recycled (or refused by fault): back off and
-   re-resolve the current queue. *)
-let rec submit_sub t ~deadline s sub attempt =
+   re-resolve the current queue.
+
+   [barrier] (the deterministic chaos soak) waits for the shard to be
+   re-admitted instead of taking the degraded path, bounded by the
+   deadline like any other wait: every fault-site draw then happens in
+   the same fleet state on every equal-seed run — a crash or poison
+   site is only ever drawn by the owning domain, never skipped because
+   a submission raced a recovery.  Without [barrier], a first attempt
+   that finds the shard quarantined still draws the queue sites
+   ({!Mpsc_queue.draw_faults}): recovery timing decides whether a
+   submission is queued or degraded, and must not add or remove
+   draws. *)
+let rec submit_sub t ~deadline ~barrier s sub attempt =
   let st = t.shards.(s) in
   let expired () =
     match deadline with
@@ -630,14 +708,19 @@ let rec submit_sub t ~deadline s sub attempt =
     | None -> false
   in
   if Atomic.get t.stopping || expired () then complete sub.waiter
+  else if barrier && not (shard_ready st) then begin
+    Unix.sleepf 0.0002;
+    submit_sub t ~deadline ~barrier s sub attempt
+  end
   else if Atomic.get st.status = st_running then begin
     match Mpsc_queue.push ~inject:(attempt = 0) (Atomic.get st.queue) (Work sub) with
     | () -> ()
     | exception Mpsc_queue.Closed ->
       Unix.sleepf (backoff_s attempt);
-      submit_sub t ~deadline s sub (attempt + 1)
+      submit_sub t ~deadline ~barrier s sub (attempt + 1)
   end
   else begin
+    if attempt = 0 then Mpsc_queue.draw_faults (Atomic.get st.queue);
     let writes = ref [] in
     Array.iteri
       (fun j o ->
@@ -653,7 +736,7 @@ let rec submit_sub t ~deadline s sub attempt =
       let sops = Array.of_list (List.map (fun j -> sub.sops.(j)) ws) in
       let dest = Array.of_list (List.map (fun j -> sub.dest.(j)) ws) in
       Unix.sleepf (backoff_s attempt);
-      submit_sub t ~deadline s { sub with sops; dest } (attempt + 1)
+      submit_sub t ~deadline ~barrier s { sub with sops; dest } (attempt + 1)
   end
 
 (* Block until every sub-batch completed, or poll until the deadline
@@ -684,7 +767,7 @@ let wait_waiter w ~deadline =
 (* One round: group (slot, shard, op) triples by shard, submit a
    sub-batch per shard, wait.  Results land in [results] at each
    triple's slot. *)
-let run_round t ?collect ~deadline results triples =
+let run_round t ?collect ~deadline ~barrier results triples =
   let nshards = Array.length t.shards in
   let counts = Array.make nshards 0 in
   List.iter (fun (_, s, _) -> counts.(s) <- counts.(s) + 1) triples;
@@ -722,13 +805,13 @@ let run_round t ?collect ~deadline results triples =
     Array.iteri
       (fun s sub ->
         match sub with
-        | Some sub -> submit_sub t ~deadline s sub 0
+        | Some sub -> submit_sub t ~deadline ~barrier s sub 0
         | None -> ())
       subs;
     wait_waiter waiter ~deadline
   end
 
-let exec ?collect ?timeout_s t (ops : op array) =
+let exec ?collect ?timeout_s ?(barrier = false) t (ops : op array) =
   let n = Array.length ops in
   let outcomes = Array.make n Timed_out in
   if n > 0 then begin
@@ -740,7 +823,7 @@ let exec ?collect ?timeout_s t (ops : op array) =
       List.init n (fun i ->
           (i, Shard.shard_of_key t.router (op_key ops.(i)), ops.(i)))
     in
-    run_round t ?collect ~deadline results first;
+    run_round t ?collect ~deadline ~barrier results first;
     (* Scans that exhausted their shard continue into the next one; the
        partition is monotone in key order, so the start key is
        unchanged.  Each round accumulates into [acc]; a round that
@@ -793,7 +876,7 @@ let exec ?collect ?timeout_s t (ops : op array) =
       match continuations () with
       | [] -> ()
       | conts ->
-        run_round t ?collect ~deadline results conts;
+        run_round t ?collect ~deadline ~barrier results conts;
         settle ()
     in
     settle ();

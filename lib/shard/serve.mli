@@ -75,14 +75,24 @@ val split_bounds : coordinator_config -> sizes:int array -> int array
 type supervisor_config = {
   table : Ei_storage.Table.t;
       (** the row table recoveries rebuild from; supervised shard
-          domains maintain its per-row liveness as they apply *)
+          domains maintain its per-row liveness as they apply.
+          Growing the table while the fleet serves is safe: the
+          liveness store is growth-stable (chunked pages that are
+          appended, never moved — see {!Ei_storage.Table}), so a mark
+          racing an append-driven grow is never lost *)
   rebuild : int -> Ei_harness.Index_ops.t;
       (** fresh, empty part for shard [i] (same kind/key_len as the
           one it replaces) *)
   poll_interval_s : float;  (** seconds between supervisor passes *)
   stall_timeout_s : float;
       (** heartbeat silence under queued load that diagnoses a wedged
-          domain *)
+          domain.  Must sit well above the worst-case batch time: an
+          abandoned slow-but-alive domain is fenced per operation by
+          its generation (it stops applying and completes its popped
+          waiters within one op of waking), but an operation it is
+          {e inside} when abandoned can still mark row liveness
+          concurrently with the rebuild — the one residual wedge
+          race *)
 }
 
 val default_supervisor :
@@ -114,7 +124,13 @@ val stop : t -> unit
     remaining work, join all shard domains.  The underlying indexes
     remain usable single-threaded afterwards. *)
 
-val exec : ?collect:(string -> unit) -> ?timeout_s:float -> t -> op array -> outcome array
+val exec :
+  ?collect:(string -> unit) ->
+  ?timeout_s:float ->
+  ?barrier:bool ->
+  t ->
+  op array ->
+  outcome array
 (** Apply a batch: partition by shard, enqueue one sub-batch per
     shard, block until every sub-batch settles or the deadline
     ([timeout_s], defaulting to the [start] value) passes.  Outcomes
@@ -122,9 +138,16 @@ val exec : ?collect:(string -> unit) -> ?timeout_s:float -> t -> op array -> out
     scan whose continuation fails reports the failure, never a partial
     count as if complete.  [collect] receives every key visited by
     scan ops (shared by all scans in the batch).  On a quarantined
-    shard, reads are answered directly (degraded single-threaded
-    path) and writes retry with exponential backoff until re-admission
-    or the deadline. *)
+    shard, reads are answered directly (degraded single-threaded path,
+    serialised against the rebuild — a degraded read always sees the
+    rebuilt part, never the dying one) and writes retry with
+    exponential backoff until re-admission or the deadline.
+
+    [barrier] (default [false]) trades the degraded path for
+    determinism: each sub-batch submission first waits — bounded by
+    the deadline — until its shard is re-admitted, so every fault-site
+    draw happens in the same fleet state on every equal-seed run.  The
+    deterministic chaos soak submits with [barrier:true]. *)
 
 val index_ops : ?name:string -> t -> Ei_harness.Index_ops.t
 (** Blocking single-op facade over {!exec} ([backend = B_composite]).

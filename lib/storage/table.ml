@@ -6,25 +6,39 @@
    exactly the "indirect key storage" of the paper: every such access
    models the extra memory reference into the base table. *)
 
+(* Liveness is stored in fixed-size chunks that are appended and never
+   moved: growth allocates new chunks and a longer chunk array but
+   leaves every existing chunk object in place, so a mark racing a
+   grow always lands in the byte the next reader (and the recovery
+   rebuild) will consult.  The flat-Bytes alternative loses marks: a
+   grow blits into a fresh buffer, and a mark landing in the old one
+   afterwards vanishes. *)
+let live_chunk_bits = 12
+let live_chunk = 1 lsl live_chunk_bits (* 4096 rows per chunk *)
+
 type t = {
   key_len : int;
   mutable keys : string array;
-  mutable live : Bytes.t;
-  (* one byte per row, '\001' = live.  Maintained by callers that treat
-     the table as the recovery source of truth (the shard supervisor);
-     rows start dead, so an append alone never resurrects into a
-     rebuild.  One whole byte per row keeps marks from two domains on
-     different rows race-free (no read-modify-write of shared bits). *)
+  mutable live : Bytes.t array;
+  (* one byte per row, '\001' = live, chunked (see above).  Maintained
+     by callers that treat the table as the recovery source of truth
+     (the shard supervisor); rows start dead, so an append alone never
+     resurrects into a rebuild.  One whole byte per row keeps marks
+     from two domains on different rows race-free (no read-modify-write
+     of shared bits). *)
   mutable n : int;
   mutable loads : int;  (* number of indirect key loads, for profiling *)
 }
+
+let live_chunks_for cap = (cap + live_chunk - 1) / live_chunk
 
 let create ?(initial_capacity = 1024) ~key_len () =
   let cap = max 1 initial_capacity in
   {
     key_len;
     keys = Array.make cap "";
-    live = Bytes.make cap '\000';
+    live =
+      Array.init (live_chunks_for cap) (fun _ -> Bytes.make live_chunk '\000');
     n = 0;
     loads = 0;
   }
@@ -36,16 +50,21 @@ let grow t =
   let cap = Array.length t.keys in
   let keys = Array.make (2 * cap) "" in
   Array.blit t.keys 0 keys 0 t.n;
-  let live = Bytes.make (2 * cap) '\000' in
-  Bytes.blit t.live 0 live 0 t.n;
   t.keys <- keys;
-  t.live <- live
+  (* Extend the chunk array by appending fresh chunks; existing chunk
+     objects stay shared between the old and new arrays, so concurrent
+     marks on already-appended rows are never lost. *)
+  let have = Array.length t.live in
+  let need = live_chunks_for (2 * cap) in
+  if need > have then
+    t.live <-
+      Array.init need (fun c ->
+          if c < have then t.live.(c) else Bytes.make live_chunk '\000')
 
 let append t key =
   assert (String.length key = t.key_len);
   if t.n = Array.length t.keys then grow t;
   t.keys.(t.n) <- key;
-  Bytes.set t.live t.n '\000';
   t.n <- t.n + 1;
   t.n - 1
 
@@ -62,20 +81,33 @@ let reset_loads t = t.loads <- 0
 
 (* --- Row liveness (recovery source of truth) ------------------------- *)
 
+(* A marker always reaches an existing chunk: [tid] was appended (so
+   its chunk was allocated) before any caller could hold it, and
+   chunks are never moved, so even a stale read of [t.live] indexes
+   the same chunk object a fresh read would. *)
+let live_byte t tid = (t.live.(tid lsr live_chunk_bits), tid land (live_chunk - 1))
+
 let mark_live t tid =
   assert (tid >= 0 && tid < t.n);
-  Bytes.set t.live tid '\001'
+  let chunk, off = live_byte t tid in
+  Bytes.set chunk off '\001'
 
 let mark_dead t tid =
   assert (tid >= 0 && tid < t.n);
-  Bytes.set t.live tid '\000'
+  let chunk, off = live_byte t tid in
+  Bytes.set chunk off '\000'
 
-let is_live t tid = tid >= 0 && tid < t.n && Char.equal (Bytes.get t.live tid) '\001'
+let is_live t tid =
+  tid >= 0 && tid < t.n
+  &&
+  let chunk, off = live_byte t tid in
+  Char.equal (Bytes.get chunk off) '\001'
 
 let fold_live t f init =
   let acc = ref init in
   for tid = 0 to t.n - 1 do
-    if Char.equal (Bytes.get t.live tid) '\001' then
+    let chunk, off = live_byte t tid in
+    if Char.equal (Bytes.get chunk off) '\001' then
       acc := f tid t.keys.(tid) !acc
   done;
   !acc

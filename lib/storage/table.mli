@@ -31,7 +31,12 @@ val reset_loads : t -> unit
     their index entries are applied; a rebuild replays exactly the live
     rows).  Rows start dead on {!append}.  Marks on distinct rows are
     safe from different domains (one byte per row, no shared
-    read-modify-write). *)
+    read-modify-write), and the store is {e growth-stable}: marks live
+    in fixed-size chunks that are appended but never moved, so a
+    domain marking row [tid] concurrently with an {!append} that grows
+    the table can never lose its mark — the supervised serving layer
+    relies on this.  ({!append} itself is still single-writer: marks
+    may race a grow, appends may not race each other.) *)
 
 val mark_live : t -> int -> unit
 val mark_dead : t -> int -> unit

@@ -26,6 +26,67 @@ let test_table () =
   Alcotest.(check int) "data bytes" (100 * (8 + 24))
     (Table.data_bytes ~row_bytes:24 t)
 
+let test_liveness () =
+  let t = Table.create ~initial_capacity:4 ~key_len:8 () in
+  let n = 10_000 in
+  (* crosses several liveness chunks and many grows *)
+  for i = 0 to n - 1 do
+    let tid = Table.append t (Ei_util.Key.of_int i) in
+    Alcotest.(check bool) "rows start dead" false (Table.is_live t tid)
+  done;
+  let live i = i mod 3 = 0 in
+  for tid = 0 to n - 1 do
+    if live tid then Table.mark_live t tid
+  done;
+  (* Growth after marking must not shed a single mark. *)
+  for i = n to (2 * n) - 1 do
+    ignore (Table.append t (Ei_util.Key.of_int i))
+  done;
+  for tid = 0 to n - 1 do
+    Alcotest.(check bool) "mark survives growth" (live tid)
+      (Table.is_live t tid)
+  done;
+  Table.mark_dead t 0;
+  Alcotest.(check bool) "mark_dead" false (Table.is_live t 0);
+  let folded =
+    Table.fold_live t (fun tid key acc ->
+        Alcotest.(check string) "fold key" (Ei_util.Key.of_int tid) key;
+        acc + 1) 0
+  in
+  Alcotest.(check int) "fold_live count" ((n + 2) / 3 - 1) folded
+
+(* The growth-stability race itself: one domain appends (growing the
+   table from a tiny capacity), the other marks each row live as soon
+   as its tid is published.  With a flat liveness buffer a grow blits
+   and replaces it, losing any mark that lands in the old bytes — the
+   chunked store must not lose one. *)
+let test_liveness_grow_race () =
+  let t = Table.create ~initial_capacity:2 ~key_len:8 () in
+  let n = 30_000 in
+  let published = Atomic.make 0 in
+  let marker =
+    Domain.spawn (fun () ->
+        let next = ref 0 in
+        while !next < n do
+          let upto = Atomic.get published in
+          while !next < upto do
+            Table.mark_live t !next;
+            incr next
+          done;
+          if !next < n then Domain.cpu_relax ()
+        done)
+  in
+  for i = 0 to n - 1 do
+    let tid = Table.append t (Ei_util.Key.of_int i) in
+    Atomic.set published (tid + 1)
+  done;
+  Domain.join marker;
+  let missing = ref 0 in
+  for tid = 0 to n - 1 do
+    if not (Table.is_live t tid) then incr missing
+  done;
+  Alcotest.(check int) "no mark lost to growth" 0 !missing
+
 let test_tracker () =
   let tr = Tracker.create () in
   Tracker.add tr 100;
@@ -90,6 +151,9 @@ let () =
       ( "storage",
         [
           Alcotest.test_case "table" `Quick test_table;
+          Alcotest.test_case "row liveness across growth" `Quick test_liveness;
+          Alcotest.test_case "liveness marks vs grow race" `Quick
+            test_liveness_grow_race;
           Alcotest.test_case "tracker" `Quick test_tracker;
           Alcotest.test_case "memory-model anchors" `Quick test_memmodel_anchors;
         ] );
