@@ -77,8 +77,11 @@ let reset_results () =
 
 (* [emit ~name ~params ~ops_per_sec ~bytes] appends one record.
    [params] is a list of (key, value) strings describing the
-   configuration cell (index kind, domains, workload, ...). *)
-let emit ~name ~params ~ops_per_sec ~bytes =
+   configuration cell (index kind, domains, workload, ...).
+   [quantiles], when present, adds tail-latency fields
+   [p50_ns]/[p99_ns]/[p999_ns]; prior keys are unchanged, so old lines
+   and old consumers keep parsing. *)
+let emit_record ?quantiles ~name ~params ~ops_per_sec ~bytes () =
   let oc =
     open_out_gen [ Open_append; Open_creat ] 0o644 results_file
   in
@@ -88,14 +91,55 @@ let emit ~name ~params ~ops_per_sec ~bytes =
            Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v))
     |> String.concat ", "
   in
+  let quantiles_json =
+    match quantiles with
+    | None -> ""
+    | Some (p50, p99, p999) ->
+      Printf.sprintf ", \"p50_ns\": %d, \"p99_ns\": %d, \"p999_ns\": %d" p50
+        p99 p999
+  in
   Printf.fprintf oc
-    "{\"name\": \"%s\", \"params\": {%s}, \"ops_per_sec\": %.0f, \"bytes\": %d, \"scale\": %g, \"seed\": %d}\n"
-    (json_escape name) params_json ops_per_sec bytes scale seed;
+    "{\"name\": \"%s\", \"params\": {%s}, \"ops_per_sec\": %.0f, \"bytes\": %d, \"scale\": %g, \"seed\": %d%s}\n"
+    (json_escape name) params_json ops_per_sec bytes scale seed quantiles_json;
   close_out oc
+
+let emit ~name ~params ~ops_per_sec ~bytes =
+  emit_record ~name ~params ~ops_per_sec ~bytes ()
 
 (* Convenience: most call sites measure Mops. *)
 let emit_mops ~name ~params ~mops:m ~bytes =
   emit ~name ~params ~ops_per_sec:(m *. 1e6) ~bytes
+
+(* Mops record with tail latencies (see [emit_record ?quantiles]). *)
+let emit_mops_q ?quantiles ~name ~params ~mops:m ~bytes () =
+  emit_record ?quantiles ~name ~params ~ops_per_sec:(m *. 1e6) ~bytes ()
+
+(* --- Driver-side observability (EI_OBS=1) ---------------------------- *)
+
+(* Benchmarks run with the registry disabled by default, so the recorded
+   throughput is the obs-compiled-but-off configuration EXPERIMENTS.md
+   tracks.  EI_OBS=1 turns the metrics registry on for the whole driver
+   run; phase histograms then feed the [p50_ns]/[p99_ns]/[p999_ns]
+   fields of emitted records. *)
+let obs_enabled =
+  match Sys.getenv_opt "EI_OBS" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let () = if obs_enabled then Ei_obs.Metrics.set_enabled true
+
+(* Start a measurement phase feeding histogram [h] (clears samples left
+   by earlier phases or warmup). *)
+let begin_phase h = if obs_enabled then Ei_obs.Metrics.reset_histogram h
+
+(* The phase's tail latencies, for [emit ?quantiles]. *)
+let phase_quantiles h =
+  if obs_enabled && Ei_obs.Metrics.histogram_count h > 0 then
+    Some
+      ( Ei_obs.Metrics.quantile h 0.5,
+        Ei_obs.Metrics.quantile h 0.99,
+        Ei_obs.Metrics.quantile h 0.999 )
+  else None
 
 let pf = Printf.printf
 

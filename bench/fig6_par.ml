@@ -74,6 +74,11 @@ let warn_shed name shed =
 
 let aggregate_bytes serve = Array.fold_left ( + ) 0 (Serve.shard_sizes serve)
 
+(* Under EI_OBS=1 each phase's batch-execution latencies land in the
+   serving layer's [serve.batch_ns] histogram; resetting it per phase
+   turns the shared histogram into a per-phase one. *)
+let h_batch = Ei_obs.Metrics.histogram "serve.batch_ns"
+
 let run () =
   header "Figure 6 (parallel): sharded YCSB with the global memory coordinator";
   let record_count = scaled 100_000 in
@@ -104,18 +109,22 @@ let run () =
             Serve.Insert (Ycsb.key_of_seq seq, tids.(seq)))
       in
       let shed = ref 0 in
+      begin_phase h_batch;
       let load_mops =
         mops record_count (fun () -> shed := !shed + run_batches serve load_ops)
       in
+      let load_q = phase_quantiles h_batch in
       (* Uniform point reads (workload C shape). *)
       let rng = domain_rng 0 in
       let read_ops =
         Array.init ops (fun _ ->
             Serve.Find (Ycsb.key_of_seq (Rng.int rng record_count)))
       in
+      begin_phase h_batch;
       let read_mops =
         mops ops (fun () -> shed := !shed + run_batches serve read_ops)
       in
+      let read_q = phase_quantiles h_batch in
       (* Short scans from uniform starts; a scan landing near the top of
          a shard's range continues into the next shard (workload E
          shape).  Throughput is entries visited per second. *)
@@ -125,10 +134,12 @@ let run () =
         Array.init nscan (fun _ ->
             Serve.Scan (Ycsb.key_of_seq (Rng.int rng record_count), scan_len))
       in
+      begin_phase h_batch;
       let scan_mops =
         mops (nscan * scan_len) (fun () ->
             shed := !shed + run_batches serve scan_ops)
       in
+      let scan_q = phase_quantiles h_batch in
       (* Churn: 50 % reads, 25 % inserts of fresh keys, 25 % removes of
          the oldest fresh key (falling back to updates before any fresh
          insert has landed), so the record count stays near constant
@@ -163,9 +174,11 @@ let run () =
               Serve.Update (Ycsb.key_of_seq s, tids.(s))
             end)
       in
+      begin_phase h_batch;
       let churn_mops =
         mops ops (fun () -> shed := !shed + run_batches serve churn_ops)
       in
+      let churn_q = phase_quantiles h_batch in
       (* Bound check: after one final coordinator pass the aggregate
          tracked bytes must respect the global soft bound (+10 %
          tolerance for in-flight splits). *)
@@ -193,20 +206,20 @@ let run () =
           f2 ratio;
           string_of_int rebal;
         ];
-      let cell phase m =
-        emit_mops ~name:"fig6_par"
+      let cell phase m q =
+        emit_mops_q ?quantiles:q ~name:"fig6_par"
           ~params:
             [
               ("index", "olc-elastic");
               ("shards", string_of_int shards);
               ("phase", phase);
             ]
-          ~mops:m ~bytes:agg
+          ~mops:m ~bytes:agg ()
       in
-      cell "load" load_mops;
-      cell "read" read_mops;
-      cell "scan" scan_mops;
-      cell "churn" churn_mops)
+      cell "load" load_mops load_q;
+      cell "read" read_mops read_q;
+      cell "scan" scan_mops scan_q;
+      cell "churn" churn_mops churn_q)
     shard_counts;
   pf
     "expected shapes: throughput grows with shards up to the core count;\n\

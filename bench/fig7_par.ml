@@ -35,7 +35,15 @@ let kinds ~record_count =
       Some elastic_bound );
   ]
 
-type cell = { read : float; insert : float; bytes : int }
+type cell = {
+  read : float;
+  insert : float;
+  bytes : int;
+  read_q : (int * int * int) option;
+  insert_q : (int * int * int) option;
+      (* per-phase batch-latency quantiles, captured at run time (the
+         shared histogram is reset between phases and cells) *)
+}
 
 let run_cell ~kind_of_shard ~bound ~shards ~record_count ~ops =
   let table, router =
@@ -55,23 +63,27 @@ let run_cell ~kind_of_shard ~bound ~shards ~record_count ~ops =
         Serve.Insert (Ycsb.key_of_seq seq, tids.(seq)))
   in
   let shed = ref 0 in
+  begin_phase Fig6_par.h_batch;
   let insert =
     mops record_count (fun () ->
         shed := !shed + Fig6_par.run_batches serve load_ops)
   in
+  let insert_q = phase_quantiles Fig6_par.h_batch in
   let rng = domain_rng 0 in
   let read_ops =
     Array.init ops (fun _ ->
         Serve.Find (Ycsb.key_of_seq (Rng.int rng record_count)))
   in
+  begin_phase Fig6_par.h_batch;
   let read =
     mops ops (fun () -> shed := !shed + Fig6_par.run_batches serve read_ops)
   in
+  let read_q = phase_quantiles Fig6_par.h_batch in
   Serve.rebalance_now serve;
   let bytes = Fig6_par.aggregate_bytes serve in
   Serve.stop serve;
   Fig6_par.warn_shed (Printf.sprintf "%d shards" shards) !shed;
-  { read; insert; bytes }
+  { read; insert; bytes; read_q; insert_q }
 
 let run () =
   header "Figure 7 (parallel): shard-domain scaling of BTreeOLC variants";
@@ -113,18 +125,18 @@ let run () =
     (fun (label, row) ->
       List.iter
         (fun (shards, c) ->
-          let cell phase m =
-            emit_mops ~name:"fig7_par"
+          let cell phase m q =
+            emit_mops_q ?quantiles:q ~name:"fig7_par"
               ~params:
                 [
                   ("index", label);
                   ("shards", string_of_int shards);
                   ("phase", phase);
                 ]
-              ~mops:m ~bytes:c.bytes
+              ~mops:m ~bytes:c.bytes ()
           in
-          cell "read" c.read;
-          cell "insert" c.insert)
+          cell "read" c.read c.read_q;
+          cell "insert" c.insert c.insert_q)
         row)
     cells;
   pf

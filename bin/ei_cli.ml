@@ -2,20 +2,27 @@
 
    Subcommands:
      ycsb   — run a YCSB workload against a chosen index
-     trace  — ingest a synthetic IOTTA-like log trace through the
-              MCAS-like store and query it
+     ingest — ingest a synthetic IOTTA-like log trace through the
+              MCAS-like store and query it (formerly [trace])
      volumes — print the Fig-1 style daily-volume model
      check  — churn an index with random mutations and run the deep
               invariant sanitizer ({!Ei_check.Check}) over it
      serve  — run a sharded elastic fleet ({!Ei_shard.Serve}) with the
               global memory coordinator under a YCSB-style load
+     stats  — run a YCSB workload with the ei_obs metrics registry on
+              and print the exposition (Prometheus text or JSON)
+     trace  — run a sharded YCSB workload with the ei_obs trace ring on,
+              slash the global bound mid-churn, and dump a Chrome
+              trace_events JSON (chrome://tracing / Perfetto)
 
    Examples:
      ei ycsb --index elastic --workload E --records 50000 --ops 100000
-     ei trace --index elastic50 --rows 200000
+     ei ingest --index elastic50 --rows 200000
      ei volumes --days 90
      ei check --index elastic40 --ops 200000 --strict
-     ei serve --shards 4 --records 100000 --ops 200000 --bound 60 *)
+     ei serve --shards 4 --records 100000 --ops 200000 --bound 60
+     ei stats --index elastic --workload A --json
+     ei trace --shards 2 --records 50000 --ops 100000 --out ei.trace.json *)
 
 open Cmdliner
 
@@ -121,9 +128,9 @@ let ycsb_cmd =
   let term = Term.(const run $ index_arg $ workload_arg $ records_arg $ ops_arg $ zipf_arg) in
   Cmd.v (Cmd.info "ycsb" ~doc:"Run a YCSB workload against an index.") term
 
-(* --- trace ------------------------------------------------------------ *)
+(* --- ingest ----------------------------------------------------------- *)
 
-let trace_cmd =
+let ingest_cmd =
   let rows_arg =
     Arg.(value & opt int 200_000 & info [ "rows" ] ~doc:"Trace rows to ingest.")
   in
@@ -167,7 +174,10 @@ let trace_cmd =
   in
   let term = Term.(const run $ index_arg $ rows_arg) in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Ingest a synthetic object-store log trace via the MCAS-like store.")
+    (Cmd.info "ingest"
+       ~doc:"Ingest a synthetic object-store log trace via the MCAS-like \
+             store (formerly the trace subcommand; trace now dumps \
+             Chrome traces).")
     term
 
 (* --- check ------------------------------------------------------------- *)
@@ -435,6 +445,218 @@ let chaos_cmd =
              reconciliation and deep validation.")
     term
 
+(* --- stats -------------------------------------------------------------- *)
+
+(* YCSB under the ei_obs metrics registry: the index is wrapped in
+   {!Index_ops.observed}, so every point operation lands in a per-op
+   latency histogram, on top of the structure-modification counters the
+   instrumented libraries record on their own.  The exposition goes to
+   stdout (run commentary to stderr), so the output pipes straight into
+   a scrape file or [jq]. *)
+let stats_cmd =
+  let module Metrics = Ei_obs.Metrics in
+  let workload_arg =
+    Arg.(value & opt string "A" & info [ "w"; "workload" ] ~docv:"A..F" ~doc:"YCSB workload.")
+  in
+  let records_arg =
+    Arg.(value & opt int 50_000 & info [ "records" ] ~doc:"Records to load.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 100_000 & info [ "ops" ] ~doc:"Transactions to run.")
+  in
+  let zipf_arg =
+    Arg.(value & flag & info [ "zipfian" ] ~doc:"Zipfian key distribution (default uniform).")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the registry as JSON instead of Prometheus text.")
+  in
+  let run index_name workload records ops zipfian json =
+    let workload =
+      match String.uppercase_ascii workload with
+      | "A" -> Ycsb.A
+      | "B" -> Ycsb.B
+      | "C" -> Ycsb.C
+      | "D" -> Ycsb.D
+      | "E" -> Ycsb.E
+      | "F" -> Ycsb.F
+      | w -> Printf.ksprintf failwith "unknown workload %s" w
+    in
+    match kind_of_name ~approx_items:records ~key_len:8 index_name with
+    | Error (`Msg m) -> prerr_endline m; exit 2
+    | Ok kind ->
+      Metrics.set_enabled true;
+      let table = Table.create ~key_len:8 () in
+      let index = Registry.make ~key_len:8 ~load:(Table.loader table) kind in
+      let observed = Index_ops.observed ~prefix:"op" index in
+      let runner = Ycsb.create ~index:observed ~table ~record_count:records () in
+      let (), load_dt = Clock.time (fun () -> Ycsb.load runner records) in
+      let dist = if zipfian then Ycsb.Zipfian else Ycsb.Uniform in
+      let (), dt =
+        Clock.time (fun () -> ignore (Ycsb.run runner ~workload ~dist ~ops))
+      in
+      Printf.eprintf
+        "%s: load %d recs %.2f Mops; txn-%s %d ops %.2f Mops; %.2f MiB %s\n"
+        index.Index_ops.name records
+        (Clock.mops records load_dt)
+        (Ycsb.workload_name workload)
+        ops (Clock.mops ops dt)
+        (Clock.mib (index.Index_ops.memory_bytes ()))
+        (index.Index_ops.info ());
+      print_string (if json then Metrics.dump_json () else Metrics.dump_prometheus ())
+  in
+  let term =
+    Term.(const run $ index_arg $ workload_arg $ records_arg $ ops_arg $ zipf_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a YCSB workload with the metrics registry enabled and \
+             print the exposition (Prometheus text, or JSON with --json).")
+    term
+
+(* --- trace (Chrome trace_events capture) -------------------------------- *)
+
+(* A tracing run over the sharded serving layer: load, churn, slash the
+   global soft bound mid-churn via a one-shot coordinator pass, keep
+   churning, then export the merged trace rings.  The periodic
+   coordinator is deliberately NOT started — it would restore the
+   original bound split on its next pass and blur the slash the trace is
+   meant to show; [Serve.rebalance_with] delivers each split exactly
+   once. *)
+let obs_trace_cmd =
+  let module Olc = Ei_olc.Btree_olc in
+  let module Shard = Ei_shard.Shard in
+  let module Serve = Ei_shard.Serve in
+  let module Metrics = Ei_obs.Metrics in
+  let module Trace = Ei_obs.Trace in
+  let shards_arg =
+    Arg.(value & opt int 2 & info [ "shards" ] ~doc:"Shard domains to spawn.")
+  in
+  let records_arg =
+    Arg.(value & opt int 50_000 & info [ "records" ] ~doc:"Records to load.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 100_000 & info [ "ops" ] ~doc:"Churn operations.")
+  in
+  let bound_arg =
+    Arg.(value & opt int 60
+         & info [ "bound" ]
+             ~doc:"Global soft memory bound as a percentage of the \
+                   unconstrained BTreeOLC estimate for the load; halved \
+                   mid-churn.")
+  in
+  let workload_arg =
+    Arg.(value & opt string "A"
+         & info [ "w"; "workload" ] ~docv:"A..C"
+             ~doc:"YCSB point-op mix for the churn phases: A = 50/50 \
+                   read/update, B = 95/5, C = reads only.")
+  in
+  let out_arg =
+    Arg.(value & opt string "ei.trace.json"
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Output file (Chrome trace_events JSON; open in \
+                   chrome://tracing or ui.perfetto.dev).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed for the workload.")
+  in
+  let run shards records ops pct workload out seed =
+    if shards < 1 then begin prerr_endline "need at least one shard"; exit 2 end;
+    let update_pct =
+      match String.uppercase_ascii workload with
+      | "A" -> 50
+      | "B" -> 5
+      | "C" -> 0
+      | w -> Printf.ksprintf failwith "unknown workload %s (want A, B or C)" w
+    in
+    Metrics.set_enabled true;
+    Trace.set_enabled true;
+    let global_bound = records * 27 * pct / 100 in
+    let table = Table.create ~key_len:8 () in
+    let load =
+      Olc.safe_loader ~key_len:8
+        ~table_length:(fun () -> Table.length table)
+        ~load:(Table.loader table)
+    in
+    let parts =
+      Array.init shards (fun i ->
+          Registry.make
+            ~name:(Printf.sprintf "olc-elastic/%d" i)
+            ~key_len:8 ~load
+            (Registry.Olc
+               (Olc.Olc_elastic
+                  (Olc.default_elastic_config
+                     ~size_bound:(max 1 (global_bound / shards))))))
+    in
+    let router = Shard.create parts in
+    let serve = Serve.start router in
+    let shed = ref 0 in
+    let batched a =
+      let n = Array.length a in
+      let i = ref 0 in
+      while !i < n do
+        let len = min 512 (n - !i) in
+        Array.iter
+          (function
+            | Serve.Applied _ -> ()
+            | Serve.Rejected | Serve.Timed_out -> incr shed)
+          (Serve.exec serve (Array.sub a !i len));
+        i := !i + len
+      done
+    in
+    let tids = Array.make records 0 in
+    for s = 0 to records - 1 do
+      tids.(s) <- Table.append table (Ycsb.key_of_seq s)
+    done;
+    batched
+      (Array.init records (fun s ->
+           Serve.Insert (Ycsb.key_of_seq s, tids.(s))));
+    (* One explicit coordinator pass delivers the configured split. *)
+    Serve.rebalance_with serve (Serve.default_coordinator ~global_bound);
+    let rng = Ei_util.Rng.stream seed 0 in
+    let churn n =
+      batched
+        (Array.init n (fun _ ->
+             let s = Ei_util.Rng.int rng records in
+             if Ei_util.Rng.int rng 100 < update_pct then
+               Serve.Update (Ycsb.key_of_seq s, tids.(s))
+             else Serve.Find (Ycsb.key_of_seq s)))
+    in
+    churn (ops / 2);
+    (* Mid-flight slash: re-split half the budget, forcing the fleet
+       into the shrinking state while the second churn phase runs. *)
+    Serve.rebalance_with serve
+      (Serve.default_coordinator ~global_bound:(max 1 (global_bound / 2)));
+    churn (ops - (ops / 2));
+    Serve.stop serve;
+    let events = Trace.events () in
+    Trace.write_json out;
+    Printf.printf
+      "wrote %s: %d events (%d elastic transitions, %d batches); bound \
+       %.1f MiB slashed to %.1f MiB mid-churn\n"
+      out events
+      (Metrics.counter_value (Metrics.counter "olc.transitions"))
+      (Serve.batches serve)
+      (Clock.mib global_bound)
+      (Clock.mib (global_bound / 2));
+    if !shed > 0 then
+      Printf.printf "%d operation(s) shed (rejected or timed out)\n" !shed;
+    if events = 0 then begin
+      prerr_endline "empty trace: no events were recorded";
+      exit 1
+    end
+  in
+  let term =
+    Term.(const run $ shards_arg $ records_arg $ ops_arg $ bound_arg
+          $ workload_arg $ out_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a sharded YCSB workload with tracing on, slash the \
+             global bound mid-churn, and dump Chrome trace_events JSON.")
+    term
+
 (* --- volumes ----------------------------------------------------------- *)
 
 let volumes_cmd =
@@ -456,4 +678,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ ycsb_cmd; trace_cmd; volumes_cmd; check_cmd; serve_cmd; chaos_cmd ]))
+          [
+            ycsb_cmd;
+            ingest_cmd;
+            volumes_cmd;
+            check_cmd;
+            serve_cmd;
+            chaos_cmd;
+            stats_cmd;
+            obs_trace_cmd;
+          ]))

@@ -18,6 +18,21 @@ let global =
   { searches = 0; scan_steps = 0; tree_steps = 0; key_compares = 0;
     inserts = 0; removes = 0; rebuilds = 0 }
 
+(* Folded into the ei_obs registry as probes: the hot paths keep their
+   single unsynchronised field bump, and a registry snapshot reads the
+   record only at exposition time.  (Counts from non-primary domains can
+   be lost to races — same caveat as reading [global] directly.) *)
+let () =
+  let module Metrics = Ei_obs.Metrics in
+  Metrics.register_probe "seqtree.searches" (fun () -> global.searches);
+  Metrics.register_probe "seqtree.scan_steps" (fun () -> global.scan_steps);
+  Metrics.register_probe "seqtree.tree_steps" (fun () -> global.tree_steps);
+  Metrics.register_probe "seqtree.key_compares" (fun () ->
+      global.key_compares);
+  Metrics.register_probe "seqtree.inserts" (fun () -> global.inserts);
+  Metrics.register_probe "seqtree.removes" (fun () -> global.removes);
+  Metrics.register_probe "seqtree.rebuilds" (fun () -> global.rebuilds)
+
 let reset () =
   global.searches <- 0;
   global.scan_steps <- 0;

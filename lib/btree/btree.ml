@@ -15,6 +15,15 @@ module Key = Ei_util.Key
 module Invariant = Ei_util.Invariant
 module Tracker = Ei_storage.Tracker
 module Memmodel = Ei_storage.Memmodel
+module Metrics = Ei_obs.Metrics
+
+(* Shared structure-modification counters (per-domain sharded; no-ops
+   while the registry is disabled).  The per-instance [stats] record
+   stays authoritative for tests and reports. *)
+let c_conversions = Metrics.counter "btree.conversions"
+let c_leaf_splits = Metrics.counter "btree.leaf_splits"
+let c_leaf_merges = Metrics.counter "btree.leaf_merges"
+let c_search_splits = Metrics.counter "btree.search_splits"
 
 type node = Inner of inner | Leaf_node of Leaf.t
 
@@ -128,7 +137,8 @@ let convert_leaf t leaf spec =
         Leaf.repr_of_spec ~key_len:t.key_len ~std_capacity:t.std_capacity
           ~seq_levels:t.policy.Policy.seq_levels
           ~seq_breathing:t.policy.Policy.seq_breathing spec keys tids n);
-  t.stats.conversions <- t.stats.conversions + 1
+  t.stats.conversions <- t.stats.conversions + 1;
+  Metrics.incr c_conversions
 
 (* ------------------------------------------------------------------ *)
 (* Inner-node helpers.                                                 *)
@@ -173,6 +183,7 @@ let inner_remove_at nd i =
    representation [spec].  Returns (separator, right leaf). *)
 let split_leaf t leaf (spec : Policy.leaf_spec) =
   t.stats.leaf_splits <- t.stats.leaf_splits + 1;
+  Metrics.incr c_leaf_splits;
   let before = Leaf.memory_bytes leaf in
   let was_compact = Leaf.is_compact leaf in
   let right_repr =
@@ -337,6 +348,7 @@ let insert t key tid =
 
 let force_split_leaf t key spec =
   t.stats.search_splits <- t.stats.search_splits + 1;
+  Metrics.incr c_search_splits;
   let outcome =
     descend_mutate t t.root key ~on_leaf:(fun leaf ->
         if Leaf.count leaf >= 2 then begin
@@ -501,6 +513,7 @@ let shift_entry t ~src ~dst ~from_end =
 (* Merge leaf children [i] and [i + 1] of inner node [nd]. *)
 let merge_leaf_children t nd i left right =
   t.stats.leaf_merges <- t.stats.leaf_merges + 1;
+  Metrics.incr c_leaf_merges;
   let total = Leaf.count left + Leaf.count right in
   let spec =
     t.policy.Policy.on_merge (view t) ~total ~left:(Leaf.spec left)

@@ -25,8 +25,18 @@ module Rng = Ei_util.Rng
 module Invariant = Ei_util.Invariant
 module Seqtree = Ei_blindi.Seqtree
 module Memmodel = Ei_storage.Memmodel
+module Metrics = Ei_obs.Metrics
+module Trace = Ei_obs.Trace
 
 let max_level = 24
+
+(* --- Observability (shared across instances) -------------------------- *)
+
+let c_transitions = Metrics.counter "skiplist.transitions"
+let c_conversions = Metrics.counter "skiplist.conversions"
+
+let ev_state =
+  Trace.define ~cat:"elastic" ~arg0:"state" ~arg1:"bytes" "skiplist.state"
 
 type payload =
   | Single of { key : string; mutable tid : int }
@@ -161,8 +171,18 @@ let track_sub t node =
 let set_state t s =
   if not (state_equal t.state s) then begin
     t.state <- s;
-    t.transitions <- t.transitions + 1
+    t.transitions <- t.transitions + 1;
+    Metrics.incr c_transitions;
+    Trace.emit ev_state
+      (match s with Normal -> 0 | Shrinking -> 1 | Expanding -> 2)
+      t.bytes
   end
+
+(* Segment<->singleton conversions all funnel their count through here
+   so the shared registry sees every one. *)
+let note_conversion t =
+  t.conversions <- t.conversions + 1;
+  Metrics.incr c_conversions
 
 let shrink_threshold t =
   int_of_float (t.config.shrink_fraction *. float_of_int t.config.size_bound)
@@ -295,7 +315,7 @@ and dissolve t node =
   match node.payload with
   | Single _ -> ()
   | Segment seg ->
-    t.conversions <- t.conversions + 1;
+    note_conversion t;
     let update = Array.make max_level t.head in
     ignore (find_predecessors t (min_key t node) update);
     unlink t update node;
@@ -333,7 +353,7 @@ let compact_run t update first =
   let run = collect_singles (Some first) t.config.segment_capacity [] in
   let n = List.length run in
   if n >= t.config.segment_capacity / 2 then begin
-    t.conversions <- t.conversions + 1;
+    note_conversion t;
     let keys = Array.make n "" and tids = Array.make n 0 in
     List.iteri
       (fun i node ->
@@ -389,7 +409,7 @@ let insert_into_segment t node key tid =
         Invariant.impossible "Elastic_skiplist: insert into grown segment failed");
       node.payload <- Segment grown;
       t.bytes <- t.bytes + (node_bytes t node - before);
-      t.conversions <- t.conversions + 1
+      note_conversion t
     end
     else begin
       (* Split in half; the right half becomes a new node. *)
@@ -488,7 +508,7 @@ let remove_from_segment t update node key =
               (Seqtree.with_capacity seg ~capacity:(c / 2)
                  ~levels:t.config.seq_levels);
           t.bytes <- t.bytes + (node_bytes t node - before);
-          t.conversions <- t.conversions + 1
+          note_conversion t
         end
         else if not (state_equal t.state Shrinking) then dissolve t node
       end;

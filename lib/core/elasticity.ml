@@ -20,8 +20,36 @@
      the progression), so hot read-only leaves also decompact. *)
 
 module Policy = Ei_btree.Policy
+module Metrics = Ei_obs.Metrics
+module Trace = Ei_obs.Trace
 
 type state = Normal | Shrinking | Expanding
+
+(* --- Observability (shared across instances; per-domain sharded) ----- *)
+
+let c_transitions = Metrics.counter "elastic.transitions"
+let c_slashes = Metrics.counter "elastic.bound_slashes"
+let c_conversions = Metrics.counter "elastic.conversions"
+let c_search_splits = Metrics.counter "elastic.search_splits"
+
+let ev_state =
+  Trace.define ~cat:"elastic" ~arg0:"state" ~arg1:"bytes" "elastic.state"
+
+let ev_slash =
+  Trace.define ~cat:"elastic" ~arg0:"new_bound" ~arg1:"old_bound"
+    "elastic.bound_slash"
+
+(* Compact<->standard leaf conversions, with the capacities involved
+   (0 = standard leaf). *)
+let ev_convert =
+  Trace.define ~cat:"elastic" ~arg0:"to_capacity" ~arg1:"from_capacity"
+    "elastic.convert"
+
+let ev_search_split =
+  Trace.define ~cat:"elastic" ~arg0:"to_capacity" ~arg1:"from_capacity"
+    "elastic.search_split"
+
+let state_code = function Normal -> 0 | Shrinking -> 1 | Expanding -> 2
 
 let state_name = function
   | Normal -> "normal"
@@ -124,10 +152,12 @@ let shrink_at t =
 let expand_at t =
   int_of_float (t.config.expand_fraction *. float_of_int t.config.size_bound)
 
-let set_state t s =
+let set_state t ~bytes s =
   if not (state_equal t.state s) then begin
     t.state <- s;
-    t.transitions <- t.transitions + 1
+    t.transitions <- t.transitions + 1;
+    Metrics.incr c_transitions;
+    Trace.emit ev_state (state_code s) bytes
   end
 
 (* State transition check, run whenever the policy is consulted.  The
@@ -138,16 +168,20 @@ let set_state t s =
 let update t (view : Policy.view) =
   (match t.slash with
   | Some site when Ei_fault.Fault.fire site ->
+    let old_bound = t.config.size_bound in
     t.config <-
       { t.config with size_bound = max 1 (t.config.size_bound / 2) };
-    t.slashes <- t.slashes + 1
+    t.slashes <- t.slashes + 1;
+    Metrics.incr c_slashes;
+    Trace.emit ev_slash t.config.size_bound old_bound
   | _ -> ());
+  let bytes = view.bytes in
   match t.state with
-  | Normal -> if view.bytes >= shrink_at t then set_state t Shrinking
-  | Shrinking -> if view.bytes <= expand_at t then set_state t Expanding
+  | Normal -> if view.bytes >= shrink_at t then set_state t ~bytes Shrinking
+  | Shrinking -> if view.bytes <= expand_at t then set_state t ~bytes Expanding
   | Expanding ->
-    if view.bytes >= shrink_at t then set_state t Shrinking
-    else if view.compact_leaves = 0 then set_state t Normal
+    if view.bytes >= shrink_at t then set_state t ~bytes Shrinking
+    else if view.compact_leaves = 0 then set_state t ~bytes Normal
 
 (* ------------------------------------------------------------------ *)
 (* Policy construction.                                                *)
@@ -158,11 +192,16 @@ let on_overflow t view ~current =
   | Policy.Spec_std, Shrinking ->
     (* Convert instead of splitting: saves leaf space and avoids the
        separator insertions a split would push into inner nodes. *)
+    Metrics.incr c_conversions;
+    Trace.emit ev_convert t.config.initial_compact_capacity 0;
     Policy.Convert (Policy.Spec_seq t.config.initial_compact_capacity)
   | Policy.Spec_std, (Normal | Expanding) -> Policy.Split Policy.Spec_std
   | Policy.Spec_seq c, Shrinking ->
-    if c < t.config.max_compact_capacity then
+    if c < t.config.max_compact_capacity then begin
+      Metrics.incr c_conversions;
+      Trace.emit ev_convert (2 * c) c;
       Policy.Convert (Policy.Spec_seq (2 * c))
+    end
     else Policy.Split (Policy.Spec_seq c)
   | Policy.Spec_seq c, (Normal | Expanding) ->
     (* Outside the shrinking state an overflowing compact leaf walks back
@@ -184,8 +223,15 @@ let on_underflow t view ~current ~count:_ =
     Policy.Rebalance
   | Policy.Spec_seq c ->
     let k = c / 2 in
-    if k > t.std_capacity then Policy.Replace (Policy.Spec_seq k)
-    else Policy.Replace Policy.Spec_std
+    Metrics.incr c_conversions;
+    if k > t.std_capacity then begin
+      Trace.emit ev_convert k c;
+      Policy.Replace (Policy.Spec_seq k)
+    end
+    else begin
+      Trace.emit ev_convert 0 c;
+      Policy.Replace Policy.Spec_std
+    end
 
 let on_search_compact t view ~current =
   update t view;
@@ -195,8 +241,15 @@ let on_search_compact t view ~current =
            t.config.search_split_probability
          < 0 ->
     let k = c / 2 in
-    if k <= t.std_capacity then Some Policy.Spec_std
-    else Some (Policy.Spec_seq k)
+    Metrics.incr c_search_splits;
+    if k <= t.std_capacity then begin
+      Trace.emit ev_search_split 0 c;
+      Some Policy.Spec_std
+    end
+    else begin
+      Trace.emit ev_search_split k c;
+      Some (Policy.Spec_seq k)
+    end
   | _ -> None
 
 let on_merge t view ~total ~left ~right =

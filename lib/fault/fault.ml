@@ -23,6 +23,7 @@
 module Rng = Ei_util.Rng
 module Strtbl = Ei_util.Strtbl
 module Fnv = Ei_util.Fnv
+module Trace = Ei_obs.Trace
 
 exception Injected of string
 
@@ -43,6 +44,7 @@ type site = {
   mutable prob : float;
   mutable calls : int;
   mutable fired : int;
+  ev : int;  (* trace-event kind for this site's draws *)
 }
 
 (* --- Global plan ----------------------------------------------------- *)
@@ -105,6 +107,9 @@ let site name =
           prob = 0.0;
           calls = 0;
           fired = 0;
+          ev =
+            Trace.define ~cat:"fault" ~arg0:"fired" ~arg1:"call"
+              ("fault." ^ name);
         }
       in
       reset_site s;
@@ -126,7 +131,13 @@ let fire s =
       && Float.compare (Rng.float s.rng) s.prob < 0
     in
     if hit then s.fired <- s.fired + 1;
+    let call = s.calls in
     Mutex.unlock s.lock;
+    (* Every draw is a trace event, so a chaos run's timeline shows the
+       exact interleaving of injected failures with the work around
+       them.  Recorded outside the site lock: [call] is the draw's
+       deterministic sequence number either way. *)
+    Trace.emit s.ev (if hit then 1 else 0) call;
     hit
   end
 

@@ -71,6 +71,38 @@ let inject ~site (ix : t) =
         ix.find k);
   }
 
+(* Per-operation latency observation, mirroring [inject]: the closures
+   are wrapped, the backend passes through untouched.  Each op lands in
+   its own log-bucketed histogram ([<prefix>.<op>_ns]), so one registry
+   snapshot shows the full latency profile of a run.  When the registry
+   is disabled the wrapper costs one atomic load per op. *)
+let observed ~prefix (ix : t) =
+  let module Metrics = Ei_obs.Metrics in
+  let module Clock = Ei_util.Bench_clock in
+  let h op = Metrics.histogram (prefix ^ "." ^ op ^ "_ns") in
+  let h_insert = h "insert"
+  and h_remove = h "remove"
+  and h_update = h "update"
+  and h_find = h "find"
+  and h_scan = h "scan" in
+  let timed h f =
+    if Metrics.enabled () then begin
+      let t0 = Clock.now_ns () in
+      let r = f () in
+      Metrics.observe h (Clock.now_ns () - t0);
+      r
+    end
+    else f ()
+  in
+  {
+    ix with
+    insert = (fun k tid -> timed h_insert (fun () -> ix.insert k tid));
+    remove = (fun k -> timed h_remove (fun () -> ix.remove k));
+    update = (fun k tid -> timed h_update (fun () -> ix.update k tid));
+    find = (fun k -> timed h_find (fun () -> ix.find k));
+    scan = (fun start n -> timed h_scan (fun () -> ix.scan start n));
+  }
+
 let checksum = ref 0
 (* Scanned keys are folded into this sink so the compiler cannot elide
    the key materialisation work. *)

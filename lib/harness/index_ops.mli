@@ -50,6 +50,13 @@ val inject : site:Ei_fault.Fault.site -> t -> t
     caller is expected to absorb or retry.  The backend is unchanged,
     so deep validators still reach the real structure. *)
 
+val observed : prefix:string -> t -> t
+(** [observed ~prefix ix] is [ix] whose operations (insert / remove /
+    update / find / scan) are timed into per-op latency histograms
+    named [<prefix>.<op>_ns] in the {!Ei_obs.Metrics} registry.  The
+    backend is unchanged.  One atomic load per op while the registry is
+    disabled. *)
+
 val checksum : int ref
 (** Sink for scanned key bytes (prevents dead-code elimination). *)
 

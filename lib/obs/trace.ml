@@ -1,0 +1,233 @@
+(* ei_obs trace ring: one fixed-size lock-free ring buffer of binary
+   events per domain, exported as Chrome [trace_events] JSON.
+
+   Each event is four words — a {!Ei_util.Bench_clock.now_ns} timestamp,
+   an event id, and two payload words — written into the calling
+   domain's own ring at a single-writer cursor, so the hot path is four
+   array stores and a cursor bump with no locks and no allocation.  The
+   ring wraps: a long run keeps the newest [ring_capacity] events per
+   domain, which is exactly what a post-mortem wants.
+
+   Event *kinds* are interned once, cold, through {!define}: a kind
+   carries a name, a Chrome category, optional payload-argument names
+   and whether the event is a span (payload word 0 is then a duration in
+   nanoseconds and the event renders as a Chrome "X" complete event
+   instead of an instant).
+
+   The exporter merges every domain's ring, sorts by timestamp,
+   normalises to the earliest event and emits
+   [{"traceEvents": [...], ...}] — loadable in [chrome://tracing] and
+   Perfetto, with each domain as its own track. *)
+
+module Clock = Ei_util.Bench_clock
+module Invariant = Ei_util.Invariant
+
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+(* --- Event kinds ------------------------------------------------------ *)
+
+type kind = {
+  ev_name : string;
+  ev_cat : string;
+  ev_span : bool;
+  ev_arg0 : string;  (* "" = unnamed; spans render arg0 as the duration *)
+  ev_arg1 : string;
+}
+
+let kinds_lock = Mutex.create ()
+let kinds : kind array ref = ref [||]
+
+let define ?(span = false) ?(arg0 = "") ?(arg1 = "") ~cat name =
+  Mutex.lock kinds_lock;
+  let ks = !kinds in
+  let id = Array.length ks in
+  kinds :=
+    Array.append ks
+      [| { ev_name = name; ev_cat = cat; ev_span = span; ev_arg0 = arg0; ev_arg1 = arg1 } |];
+  Mutex.unlock kinds_lock;
+  id
+
+(* --- Rings ------------------------------------------------------------ *)
+
+type ring = {
+  rdom : int;
+  rts : int array;
+  rev : int array;
+  ra : int array;
+  rb : int array;
+  mutable cursor : int;  (* total events ever written; single writer *)
+}
+
+let default_capacity = 32768
+let capacity = Atomic.make default_capacity
+
+let rec pow2_at_least n p = if p >= n then p else pow2_at_least n (p * 2)
+
+let set_ring_capacity n =
+  if n < 16 then Invariant.brokenf "Trace: ring capacity %d too small" n;
+  Atomic.set capacity (pow2_at_least n 16)
+
+let rings_lock = Mutex.create ()
+let rings : ring list ref = ref []
+
+let new_ring () =
+  let cap = Atomic.get capacity in
+  let r =
+    {
+      rdom = (Domain.self () :> int);
+      rts = Array.make cap 0;
+      rev = Array.make cap 0;
+      ra = Array.make cap 0;
+      rb = Array.make cap 0;
+      cursor = 0;
+    }
+  in
+  Mutex.lock rings_lock;
+  rings := r :: !rings;
+  Mutex.unlock rings_lock;
+  r
+
+(* Domain-local ring, created on a domain's first emission.  Rings of
+   exited domains stay registered so their events survive into the
+   export. *)
+let ring_key = Domain.DLS.new_key new_ring
+
+let write r ts id a b =
+  let i = r.cursor land (Array.length r.rts - 1) in
+  r.rts.(i) <- ts;
+  r.rev.(i) <- id;
+  r.ra.(i) <- a;
+  r.rb.(i) <- b;
+  r.cursor <- r.cursor + 1
+
+let emit id a b =
+  if Atomic.get on then
+    write (Domain.DLS.get ring_key) (Clock.now_ns ()) id a b
+
+let instant ?(a = 0) ?(b = 0) id = emit id a b
+
+(* Span support: [start ()] reads the clock only when tracing is live;
+   [span id ~start_ns b] then stamps the event at [start_ns] with the
+   elapsed time as payload word 0.  A [start_ns] of 0 (tracing was off
+   at the start of the section) drops the span. *)
+let start () = if Atomic.get on then Clock.now_ns () else 0
+
+let span id ~start_ns b =
+  if Atomic.get on && start_ns > 0 then begin
+    let dur = Clock.now_ns () - start_ns in
+    write (Domain.DLS.get ring_key) start_ns id (if dur < 0 then 0 else dur) b
+  end
+
+let reset () =
+  Mutex.lock rings_lock;
+  List.iter (fun r -> r.cursor <- 0) !rings;
+  Mutex.unlock rings_lock
+
+(* --- Reading ---------------------------------------------------------- *)
+
+(* Iterate the retained events of every ring, per ring in write order.
+   Call after mutators quiesce: the rings are single-writer and the
+   reader takes no lock against them. *)
+let fold_events f acc =
+  Mutex.lock rings_lock;
+  let rs = List.rev !rings in
+  Mutex.unlock rings_lock;
+  List.fold_left
+    (fun acc r ->
+      let cap = Array.length r.rts in
+      let first = if r.cursor > cap then r.cursor - cap else 0 in
+      let acc = ref acc in
+      for n = first to r.cursor - 1 do
+        let i = n land (cap - 1) in
+        acc :=
+          f !acc ~domain:r.rdom ~ts:r.rts.(i) ~id:r.rev.(i) ~a:r.ra.(i)
+            ~b:r.rb.(i)
+      done;
+      !acc)
+    acc rs
+
+let events () = fold_events (fun n ~domain:_ ~ts:_ ~id:_ ~a:_ ~b:_ -> n + 1) 0
+
+(* --- Chrome trace_events export --------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let export_json () =
+  let ks = !kinds in
+  let evs =
+    fold_events
+      (fun acc ~domain ~ts ~id ~a ~b -> (ts, domain, id, a, b) :: acc)
+      []
+  in
+  let evs = List.stable_sort (fun (t1, _, _, _, _) (t2, _, _, _, _) -> Int.compare t1 t2) evs in
+  let t0 = match evs with (t, _, _, _, _) :: _ -> t | [] -> 0 in
+  let doms =
+    List.sort_uniq Int.compare (List.map (fun (_, d, _, _, _) -> d) evs)
+  in
+  let buf = Buffer.create (65536 + (List.length evs * 96)) in
+  Buffer.add_string buf "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  let first = ref true in
+  let add_obj s =
+    if !first then first := false else Buffer.add_string buf ",";
+    Buffer.add_string buf "\n";
+    Buffer.add_string buf s
+  in
+  List.iter
+    (fun d ->
+      add_obj
+        (Printf.sprintf
+           "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": %d, \
+            \"args\": {\"name\": \"domain %d\"}}"
+           d d))
+    doms;
+  List.iter
+    (fun (ts, dom, id, a, b) ->
+      let k =
+        if id >= 0 && id < Array.length ks then ks.(id)
+        else
+          { ev_name = Printf.sprintf "event-%d" id; ev_cat = "unknown";
+            ev_span = false; ev_arg0 = ""; ev_arg1 = "" }
+      in
+      let us = float_of_int (ts - t0) /. 1e3 in
+      let arg dflt nm v =
+        Printf.sprintf "\"%s\": %d" (json_escape (if nm = "" then dflt else nm)) v
+      in
+      let obj =
+        if k.ev_span then
+          Printf.sprintf
+            "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, \
+             \"dur\": %.3f, \"pid\": 1, \"tid\": %d, \"args\": {%s}}"
+            (json_escape k.ev_name) (json_escape k.ev_cat) us
+            (float_of_int a /. 1e3)
+            dom
+            (arg "a1" k.ev_arg1 b)
+        else
+          Printf.sprintf
+            "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"i\", \"s\": \"t\", \
+             \"ts\": %.3f, \"pid\": 1, \"tid\": %d, \"args\": {%s, %s}}"
+            (json_escape k.ev_name) (json_escape k.ev_cat) us dom
+            (arg "a0" k.ev_arg0 a) (arg "a1" k.ev_arg1 b)
+      in
+      add_obj obj)
+    evs;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc (export_json ());
+  close_out oc

@@ -1,0 +1,68 @@
+(** ei_obs trace ring: a fixed-size lock-free ring buffer of binary
+    events per domain, exported as Chrome [trace_events] JSON
+    (loadable in [chrome://tracing] and Perfetto).
+
+    Recording is a no-op until {!set_enabled}[ true]; when enabled, an
+    emission is four array stores into the calling domain's own
+    single-writer ring — no locks, no allocation.  Rings wrap, keeping
+    the newest {!set_ring_capacity} events per domain. *)
+
+val set_enabled : bool -> unit
+(** Master switch for event recording.  Off by default. *)
+
+val enabled : unit -> bool
+
+val set_ring_capacity : int -> unit
+(** Capacity (events per domain), rounded up to a power of two, min 16.
+    Applies to rings created afterwards — set it before enabling
+    tracing.  Default 32768. *)
+
+(** {1 Event kinds} *)
+
+val define :
+  ?span:bool -> ?arg0:string -> ?arg1:string -> cat:string -> string -> int
+(** [define ~cat name] interns an event kind and returns its id (cold
+    path; do it once at module init).  [arg0]/[arg1] name the payload
+    words in the exported JSON.  With [~span:true] the event renders as
+    a Chrome "X" complete event: payload word 0 is its duration in
+    nanoseconds ([arg0] is ignored). *)
+
+(** {1 Recording} *)
+
+val emit : int -> int -> int -> unit
+(** [emit id a b] records an event of kind [id] with payload words [a]
+    and [b], timestamped now. *)
+
+val instant : ?a:int -> ?b:int -> int -> unit
+
+val start : unit -> int
+(** Clock value opening a span, or 0 when tracing is off. *)
+
+val span : int -> start_ns:int -> int -> unit
+(** [span id ~start_ns b] records a span-kind event covering
+    [start_ns .. now] with second payload word [b].  Dropped when
+    [start_ns] is 0. *)
+
+(** {1 Reading and export} *)
+
+val events : unit -> int
+(** Number of retained events across all rings. *)
+
+val fold_events :
+  ('acc -> domain:int -> ts:int -> id:int -> a:int -> b:int -> 'acc) ->
+  'acc ->
+  'acc
+(** Fold over every ring's retained events, per ring in write order.
+    Quiesce emitters first: rings are single-writer and the reader
+    takes no lock against them. *)
+
+val reset : unit -> unit
+(** Drop all retained events (rings stay allocated). *)
+
+val export_json : unit -> string
+(** The merged rings as Chrome [trace_events] JSON: events sorted by
+    timestamp, normalised to the earliest event, one track per domain,
+    plus thread-name metadata records. *)
+
+val write_json : string -> unit
+(** {!export_json} to a file. *)

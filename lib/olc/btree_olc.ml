@@ -22,6 +22,26 @@ module Key = Ei_util.Key
 module Invariant = Ei_util.Invariant
 module Std_leaf = Ei_btree.Std_leaf
 module Seqtree = Ei_blindi.Seqtree
+module Metrics = Ei_obs.Metrics
+module Trace = Ei_obs.Trace
+
+(* --- Observability (shared across instances) ------------------------- *)
+
+let c_transitions = Metrics.counter "olc.transitions"
+let c_conversions = Metrics.counter "olc.conversions"
+
+let ev_state =
+  Trace.define ~cat:"elastic" ~arg0:"state" ~arg1:"bytes" "olc.elastic.state"
+
+(* Leaf representation changes, with the capacities involved
+   (0 = standard leaf). *)
+let ev_convert =
+  Trace.define ~cat:"elastic" ~arg0:"to_capacity" ~arg1:"from_capacity"
+    "olc.elastic.convert"
+
+let ev_set_bound =
+  Trace.define ~cat:"elastic" ~arg0:"new_bound" ~arg1:"old_bound"
+    "olc.elastic.set_bound"
 
 exception Restart
 
@@ -212,6 +232,16 @@ let account_compact t delta =
   | Some e -> ignore (Atomic.fetch_and_add e.ecompact delta)
   | None -> ()
 
+(* Transition the elastic state machine, making the change visible to
+   the shared registry and trace ring.  Callers only reach here when the
+   new state differs from the one they just observed, so every call is a
+   real transition (races between domains can at worst double-report a
+   transition, never invent a state). *)
+let set_estate e s ~bytes =
+  Atomic.set e.estate s;
+  Metrics.incr c_transitions;
+  Trace.emit ev_state s bytes
+
 let update_elastic_state t =
   match t.elastic with
   | None -> ()
@@ -225,11 +255,11 @@ let update_elastic_state t =
       int_of_float (e.cfg.expand_fraction *. float_of_int bound)
     in
     (match Atomic.get e.estate with
-    | 0 -> if bytes >= shrink_at then Atomic.set e.estate 1
-    | 1 -> if bytes <= expand_at then Atomic.set e.estate 2
+    | 0 -> if bytes >= shrink_at then set_estate e 1 ~bytes
+    | 1 -> if bytes <= expand_at then set_estate e 2 ~bytes
     | _ ->
-      if bytes >= shrink_at then Atomic.set e.estate 1
-      else if Atomic.get e.ecompact = 0 then Atomic.set e.estate 0)
+      if bytes >= shrink_at then set_estate e 1 ~bytes
+      else if Atomic.get e.ecompact = 0 then set_estate e 0 ~bytes)
 
 let elastic_memory_bytes t =
   match t.elastic with Some e -> Atomic.get e.ebytes | None -> 0
@@ -245,7 +275,8 @@ let set_size_bound t bound =
   | None -> ()
   | Some e ->
     assert (bound > 0);
-    Atomic.set e.ebound bound;
+    let old_bound = Atomic.exchange e.ebound bound in
+    Trace.emit ev_set_bound bound old_bound;
     update_elastic_state t
 
 let key_len t = t.key_len
@@ -270,6 +301,9 @@ let elastic_conversions t =
 let convert_locked_leaf t l ~capacity ~levels ~breathing =
   let before = leaf_bytes l in
   let was_compact = match l.repr with Lstd _ -> false | Lseq _ -> true in
+  let from_capacity =
+    match l.repr with Lstd _ -> 0 | Lseq x -> Seqtree.capacity x
+  in
   let n, keys, tids =
     match l.repr with
     | Lstd x ->
@@ -294,7 +328,12 @@ let convert_locked_leaf t l ~capacity ~levels ~breathing =
   if is_compact && not was_compact then account_compact t 1
   else if (not is_compact) && was_compact then account_compact t (-1);
   (match t.elastic with
-  | Some e -> ignore (Atomic.fetch_and_add e.econversions 1)
+  | Some e ->
+    ignore (Atomic.fetch_and_add e.econversions 1);
+    Metrics.incr c_conversions;
+    Trace.emit ev_convert
+      (if capacity <= t.leaf_capacity then 0 else capacity)
+      from_capacity
   | None -> ());
   update_elastic_state t
 

@@ -50,6 +50,26 @@ module Index_ops = Ei_harness.Index_ops
 module Fault = Ei_fault.Fault
 module Table = Ei_storage.Table
 module Invariant = Ei_util.Invariant
+module Metrics = Ei_obs.Metrics
+module Trace = Ei_obs.Trace
+module Clock = Ei_util.Bench_clock
+
+(* --- Observability (shared across fleets) ----------------------------- *)
+
+let h_batch = Metrics.histogram "serve.batch_ns"
+let h_queue_depth = Metrics.histogram "serve.queue_depth"
+let c_recoveries = Metrics.counter "serve.recoveries"
+
+(* One span per drained batch, on the shard domain's own track. *)
+let ev_batch = Trace.define ~span:true ~arg1:"ops" ~cat:"serve" "serve.batch"
+
+let ev_quarantine =
+  Trace.define ~cat:"serve" ~arg0:"shard" "serve.quarantine"
+
+let ev_rebuild =
+  Trace.define ~cat:"serve" ~arg0:"shard" ~arg1:"rows" "serve.rebuild"
+
+let ev_readmit = Trace.define ~cat:"serve" ~arg0:"shard" "serve.readmit"
 
 type op =
   | Insert of string * int
@@ -287,6 +307,15 @@ let shard_loop t i ~gen q =
          are failed here, exactly as the supervisor would have. *)
       if Atomic.get st.gen <> gen then fail_popped msgs
       else begin
+        (* Clock read gated on the master switches so the disabled-path
+           cost of the batch span is one or two atomic loads. *)
+        let t0 =
+          if Metrics.enabled () || Trace.enabled () then Clock.now_ns ()
+          else 0
+        in
+        if t0 <> 0 then
+          Metrics.observe h_queue_depth
+            (List.length msgs + Mpsc_queue.length q);
         let rec process = function
           | [] ->
             (* Publish the size the coordinator rebalances from.  Every
@@ -296,6 +325,10 @@ let shard_loop t i ~gen q =
             Atomic.set t.sizes.(i) (part.Index_ops.memory_bytes ());
             Atomic.incr st.heartbeat;
             ignore (Atomic.fetch_and_add t.batches (List.length msgs));
+            if t0 <> 0 then begin
+              Metrics.observe h_batch (Clock.now_ns () - t0);
+              Trace.span ev_batch ~start_ns:t0 (List.length msgs)
+            end;
             loop ()
           | Set_bound b :: rest ->
             part.Index_ops.set_size_bound b;
@@ -454,6 +487,7 @@ let recover t scfg i ~cause =
      chaos soak relies on.) *)
   Mutex.lock st.qlock;
   Atomic.set st.status st_quarantined;
+  Trace.instant ~a:i ev_quarantine;
   Atomic.incr st.gen;
   (match st.domain with Some d -> Domain.join d | None -> ());
   st.domain <- None;
@@ -480,6 +514,7 @@ let recover t scfg i ~cause =
       end)
     ();
   (Shard.parts t.router).(i) <- fresh;
+  Trace.emit ev_rebuild i !rows;
   Atomic.set t.sizes.(i) (fresh.Index_ops.memory_bytes ());
   Atomic.set st.failed None;
   let q =
@@ -490,6 +525,8 @@ let recover t scfg i ~cause =
   let gen = Atomic.get st.gen in
   st.domain <- Some (Domain.spawn (fun () -> shard_loop t i ~gen q));
   Atomic.set st.status st_running;
+  Trace.instant ~a:i ev_readmit;
+  Metrics.incr c_recoveries;
   append_recovery t { r_shard = i; r_cause = cause; r_rows = !rows }
 
 let supervisor_loop t scfg =

@@ -4,6 +4,11 @@
 
 let now () = Unix.gettimeofday ()
 
+(* Integer wall-clock nanoseconds.  The observability layer stores these
+   in fixed-width ring slots; [gettimeofday] gives microsecond
+   resolution, which is ample for batch spans and elasticity events. *)
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
 let time f =
   let t0 = now () in
   let r = f () in

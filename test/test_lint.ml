@@ -115,6 +115,28 @@ let test_no_swallow () =
     "let f g park = try g () with e -> park e; raise e\n";
   check_clean ~display:hot "let f g d = try g () with _ -> d\n"
 
+(* --- no-print -------------------------------------------------------- *)
+
+let test_no_print () =
+  (* Direct std-stream writes from library code, applied or bare. *)
+  check_fires ~display:hot ~rule:"no-print"
+    "let f () = print_endline \"x\"\n";
+  check_fires ~display:hot ~rule:"no-print" "let f = print_string\n";
+  check_fires ~display:hot ~rule:"no-print"
+    "let f n = Printf.printf \"%d\" n\n";
+  check_fires ~display:hot ~rule:"no-print"
+    "let f n = Format.eprintf \"%d\" n\n";
+  check_fires ~display:"lib/shard/fixture.ml" ~rule:"no-print"
+    "let f () = prerr_endline \"x\"\n";
+  (* Formatting into strings is not printing. *)
+  check_clean ~display:hot "let f n = Printf.sprintf \"%d\" n\n";
+  check_clean ~display:hot "let f n = Format.asprintf \"%d\" n\n";
+  (* The exposition layer and non-library code are out of scope. *)
+  check_clean ~display:"lib/obs/metrics.ml"
+    "let f () = print_endline \"x\"\n";
+  check_clean ~display:"bin/ei_cli.ml" "let f () = print_endline \"x\"\n";
+  check_clean ~display:"bench/fig6.ml" "let f n = Printf.printf \"%d\" n\n"
+
 (* --- syntax ---------------------------------------------------------- *)
 
 let test_syntax () =
@@ -157,6 +179,19 @@ let test_in_hot_path () =
       ("bin/ei_cli.ml", false);
     ]
 
+let test_in_quiet_lib () =
+  List.iter
+    (fun (path, expect) ->
+      Alcotest.(check bool) path expect (Lint_rules.in_quiet_lib path))
+    [
+      ("lib/btree/btree.ml", true);
+      ("lib/shard/serve.ml", true);
+      ("lib/obs/metrics.ml", false);
+      ("lib/obs/trace.ml", false);
+      ("bin/ei_cli.ml", false);
+      ("bench/fig6.ml", false);
+    ]
+
 let () =
   Alcotest.run "ei_lint"
     [
@@ -167,11 +202,13 @@ let () =
           Alcotest.test_case "obj-magic" `Quick test_obj_magic;
           Alcotest.test_case "no-abort" `Quick test_no_abort;
           Alcotest.test_case "no-swallow" `Quick test_no_swallow;
+          Alcotest.test_case "no-print" `Quick test_no_print;
           Alcotest.test_case "syntax" `Quick test_syntax;
         ] );
       ( "scope",
         [
           Alcotest.test_case "mli coverage" `Quick test_mli_coverage;
           Alcotest.test_case "hot-path dirs" `Quick test_in_hot_path;
+          Alcotest.test_case "quiet-lib dirs" `Quick test_in_quiet_lib;
         ] );
     ]

@@ -1,0 +1,206 @@
+(* Tests for the ei_obs observability layer: histogram bucketing and
+   quantile edge cases, counter merging across concurrent domains
+   (qcheck), trace-ring wraparound, and the Chrome JSON exporter's
+   structural invariants. *)
+
+module Metrics = Ei_obs.Metrics
+module Trace = Ei_obs.Trace
+
+(* Alcotest runs test cases in-process and the registry is global:
+   every case enables recording on entry and leaves the registry reset
+   so cases stay order-independent. *)
+let with_obs f =
+  Metrics.set_enabled true;
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Trace.set_enabled false;
+      Metrics.reset ();
+      Trace.reset ())
+    f
+
+(* --- bucketing -------------------------------------------------------- *)
+
+let test_buckets () =
+  List.iter
+    (fun (v, b) ->
+      Alcotest.(check int) (Printf.sprintf "bucket_of %d" v) b
+        (Metrics.bucket_of v))
+    [
+      (0, 0); (1, 0); (2, 1); (3, 1); (4, 2); (7, 2); (8, 3); (1023, 9);
+      (1024, 10); (max_int, 61);
+    ];
+  (* Bucket i covers [2^i, 2^(i+1)); its inclusive upper bound is the
+     largest member, and the last bucket is unbounded. *)
+  Alcotest.(check int) "upper 0" 1 (Metrics.bucket_upper 0);
+  Alcotest.(check int) "upper 2" 7 (Metrics.bucket_upper 2);
+  Alcotest.(check int) "upper 3" 15 (Metrics.bucket_upper 3);
+  Alcotest.(check int) "upper of max_int's bucket" max_int
+    (Metrics.bucket_upper 61);
+  Alcotest.(check int) "upper last" max_int (Metrics.bucket_upper 62)
+
+(* --- quantile edge cases ---------------------------------------------- *)
+
+let test_quantile_empty () =
+  with_obs (fun () ->
+      let h = Metrics.histogram "test.empty_ns" in
+      Alcotest.(check int) "count" 0 (Metrics.histogram_count h);
+      Alcotest.(check int) "p50 of empty" 0 (Metrics.quantile h 0.5);
+      Alcotest.(check int) "p999 of empty" 0 (Metrics.quantile h 0.999))
+
+let test_quantile_single () =
+  with_obs (fun () ->
+      (* One sample: every quantile is that sample's bucket upper bound.
+         7 sits in bucket 2 ([4,8)) whose upper bound is itself 7;
+         8 sits in bucket 3 ([8,16)) and reports 15. *)
+      let h = Metrics.histogram "test.single_ns" in
+      Metrics.observe h 7;
+      Alcotest.(check int) "count" 1 (Metrics.histogram_count h);
+      Alcotest.(check int) "sum" 7 (Metrics.histogram_sum h);
+      Alcotest.(check int) "p50" 7 (Metrics.quantile h 0.5);
+      Alcotest.(check int) "p999" 7 (Metrics.quantile h 0.999);
+      Metrics.reset_histogram h;
+      Metrics.observe h 8;
+      Alcotest.(check int) "p50 rounded up" 15 (Metrics.quantile h 0.5))
+
+let test_quantile_boundaries () =
+  with_obs (fun () ->
+      (* 90 samples in bucket 0 (value 1) and 10 in bucket 9 (value
+         1000): the p50 rank lands in the low bucket, p99 in the high
+         one; p90 sits exactly on the bucket boundary rank (rank 90 =
+         the last low-bucket sample). *)
+      let h = Metrics.histogram "test.bounds_ns" in
+      for _ = 1 to 90 do
+        Metrics.observe h 1
+      done;
+      for _ = 1 to 10 do
+        Metrics.observe h 1000
+      done;
+      Alcotest.(check int) "count" 100 (Metrics.histogram_count h);
+      Alcotest.(check int) "p50" 1 (Metrics.quantile h 0.5);
+      Alcotest.(check int) "p90 on boundary" 1 (Metrics.quantile h 0.9);
+      Alcotest.(check int) "p99" 1023 (Metrics.quantile h 0.99);
+      Alcotest.(check int) "p0 clamps to rank 1" 1 (Metrics.quantile h 0.0);
+      Alcotest.(check int) "p1 is the max bucket" 1023
+        (Metrics.quantile h 1.0))
+
+(* --- disabled fast path ----------------------------------------------- *)
+
+let test_disabled_noop () =
+  Metrics.set_enabled false;
+  let c = Metrics.counter "test.off" in
+  let h = Metrics.histogram "test.off_ns" in
+  Metrics.incr c;
+  Metrics.add c 5;
+  Metrics.observe h 42;
+  Alcotest.(check int) "counter untouched" 0 (Metrics.counter_value c);
+  Alcotest.(check int) "histogram untouched" 0 (Metrics.histogram_count h);
+  Trace.set_enabled false;
+  let before = Trace.events () in
+  Trace.emit (Trace.define ~cat:"test" "test.off_ev") 1 2;
+  Alcotest.(check int) "ring untouched" before (Trace.events ())
+
+(* --- concurrent counter merge (qcheck) -------------------------------- *)
+
+let test_concurrent_merge =
+  QCheck.Test.make ~count:20 ~name:"4-domain counter adds merge to the sum"
+    QCheck.(quad (0 -- 500) (0 -- 500) (0 -- 500) (0 -- 500))
+    (fun (a, b, c, d) ->
+      Metrics.set_enabled true;
+      let counter = Metrics.counter "test.concurrent" in
+      let h = Metrics.histogram "test.concurrent_ns" in
+      Metrics.reset ();
+      let work n () =
+        for _ = 1 to n do
+          Metrics.incr counter;
+          Metrics.observe h 3
+        done
+      in
+      (* One bump stream from this domain, three from spawned domains:
+         four distinct domain ids hitting the sharded cells at once. *)
+      let doms = List.map (fun n -> Domain.spawn (work n)) [ b; c; d ] in
+      work a ();
+      List.iter Domain.join doms;
+      let total = a + b + c + d in
+      let ok =
+        Metrics.counter_value counter = total
+        && Metrics.histogram_count h = total
+        && Metrics.histogram_sum h = 3 * total
+      in
+      Metrics.set_enabled false;
+      ok)
+
+(* --- trace ring wraparound -------------------------------------------- *)
+
+let test_ring_wraparound () =
+  with_obs (fun () ->
+      Trace.set_ring_capacity 64;
+      let ev = Trace.define ~cat:"test" ~arg0:"i" "test.wrap" in
+      (* A fresh domain gets a fresh ring at the new capacity; 100
+         emissions into a 64-slot ring must retain exactly the newest
+         64 (payloads 36..99), in write order. *)
+      Domain.join
+        (Domain.spawn (fun () ->
+             for i = 0 to 99 do
+               Trace.emit ev i (2 * i)
+             done));
+      let mine =
+        List.rev
+          (Trace.fold_events
+             (fun acc ~domain:_ ~ts:_ ~id ~a ~b ->
+               if id = ev then (a, b) :: acc else acc)
+             [])
+      in
+      Alcotest.(check int) "retained" 64 (List.length mine);
+      List.iteri
+        (fun idx (a, b) ->
+          Alcotest.(check int) "payload a" (36 + idx) a;
+          Alcotest.(check int) "payload b" (2 * (36 + idx)) b)
+        mine;
+      Trace.set_ring_capacity 32768)
+
+(* --- exporter ---------------------------------------------------------- *)
+
+let test_export_json () =
+  with_obs (fun () ->
+      let ev = Trace.define ~cat:"test" ~arg0:"x" "test.export" in
+      let sp = Trace.define ~span:true ~arg1:"n" ~cat:"test" "test.span" in
+      Trace.emit ev 1 2;
+      let t0 = Trace.start () in
+      Trace.emit ev 3 4;
+      Trace.span sp ~start_ns:t0 7;
+      let json = Trace.export_json () in
+      let has needle =
+        let n = String.length needle and m = String.length json in
+        let rec go i =
+          i + n <= m && (String.equal (String.sub json i n) needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "traceEvents" true (has "\"traceEvents\"");
+      Alcotest.(check bool) "instant" true (has "\"test.export\"");
+      Alcotest.(check bool) "span as X" true (has "\"ph\": \"X\"");
+      Alcotest.(check bool) "span name" true (has "\"test.span\"");
+      Alcotest.(check bool) "thread metadata" true (has "\"thread_name\""))
+
+let () =
+  Alcotest.run "ei_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "buckets" `Quick test_buckets;
+          Alcotest.test_case "quantile: empty" `Quick test_quantile_empty;
+          Alcotest.test_case "quantile: single sample" `Quick
+            test_quantile_single;
+          Alcotest.test_case "quantile: bucket boundaries" `Quick
+            test_quantile_boundaries;
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+          QCheck_alcotest.to_alcotest test_concurrent_merge;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "chrome export" `Quick test_export_json;
+        ] );
+    ]

@@ -43,6 +43,21 @@ let pp_diag ppf d =
 let hot_dirs =
   [ "lib/btree/"; "lib/blindi/"; "lib/core/"; "lib/olc/"; "lib/baselines/" ]
 
+(* Does [file]'s path contain directory component [d] ("lib/obs/")? *)
+let in_dir d file =
+  let has_prefix_at i =
+    i + String.length d <= String.length file
+    && String.equal (String.sub file i (String.length d)) d
+  in
+  let n = String.length file in
+  let rec scan i = i < n && (has_prefix_at i || scan (i + 1)) in
+  scan 0
+
+let in_hot_path file = List.exists (fun d -> in_dir d file) hot_dirs
+
+(* Library code owns no std stream; the obs exposition layer does. *)
+let in_quiet_lib file = in_dir "lib/" file && not (in_dir "lib/obs/" file)
+
 (* Per-file, per-rule suppressions.  Deliberately empty: genuine
    findings get fixed, not allowlisted.  Entries are
    [(rule, path_suffix)]. *)
@@ -161,9 +176,11 @@ type emit = loc:Location.t -> rule:string -> string -> unit
 type expr_rule = {
   name : string;
   short : string;  (* one-line rationale, shown by --rules *)
-  hot_only : bool;  (* restrict to [hot_dirs] *)
+  applies : string -> bool;  (* file-path scope of the rule *)
   check : emit:emit -> env -> expression -> unit;
 }
+
+let everywhere (_ : string) = true
 
 let two_args args =
   match args with
@@ -176,7 +193,7 @@ let rule_poly_compare =
     short =
       "hot-path comparisons must be monomorphic (Key.compare, \
        String.compare, Int.equal, or evidently-int operands)";
-    hot_only = true;
+    applies = in_hot_path;
     check =
       (fun ~emit env e ->
         match e.pexp_desc with
@@ -220,7 +237,7 @@ let rule_hashtbl =
     short =
       "Hashtbl.hash folds a bounded key prefix and the default Hashtbl is \
        keyed on it; use Ei_util.Fnv / Ei_util.Strtbl for string keys";
-    hot_only = false;
+    applies = everywhere;
     check =
       (fun ~emit _env e ->
         match e.pexp_desc with
@@ -239,7 +256,7 @@ let rule_obj_magic =
   {
     name = "obj-magic";
     short = "Obj.magic is never acceptable in library code";
-    hot_only = false;
+    applies = everywhere;
     check =
       (fun ~emit _env e ->
         match e.pexp_desc with
@@ -257,7 +274,7 @@ let rule_no_abort =
     short =
       "library code must not abort anonymously: raise Ei_util.Invariant \
        (Broken/impossible) instead of failwith / assert false";
-    hot_only = false;
+    applies = everywhere;
     check =
       (fun ~emit _env e ->
         match e.pexp_desc with
@@ -286,7 +303,7 @@ let rule_no_swallow =
       "a handler of the form [with _ -> ()] silently discards the \
        exception; match the exceptions you mean and park or re-raise \
        the rest";
-    hot_only = false;
+    applies = everywhere;
     check =
       (fun ~emit _env e ->
         match e.pexp_desc with
@@ -311,26 +328,57 @@ let rule_no_swallow =
         | _ -> ());
   }
 
+(* Bare printing channels in library code bypass the observability
+   layer: the output interleaves arbitrarily across domains, cannot be
+   scraped, and taints benchmark stdout.  Formatting into strings
+   (Printf.sprintf / Format.asprintf) stays fine. *)
+let print_idents =
+  [
+    "print_endline"; "print_string"; "print_newline"; "print_int";
+    "print_char"; "print_float"; "print_bytes"; "prerr_endline";
+    "prerr_string"; "prerr_newline"; "prerr_int";
+  ]
+
+let is_print_path lid =
+  match path_of lid with
+  | [ ("Printf" | "Format"); ("printf" | "eprintf") ]
+  | [ "Stdlib"; ("Printf" | "Format"); ("printf" | "eprintf") ] ->
+    true
+  | _ -> false
+
+let rule_no_print =
+  {
+    name = "no-print";
+    short =
+      "library code must not write to std streams (Printf.printf, \
+       print_endline, ...); record through Ei_obs or return strings \
+       (lib/obs and CLI/bench code are exempt)";
+    applies = in_quiet_lib;
+    check =
+      (fun ~emit _env e ->
+        match e.pexp_desc with
+        | Pexp_ident { txt; loc } when is_stdlib_op txt print_idents ->
+          emit ~loc ~rule:"no-print"
+            (Printf.sprintf
+               "%s writes to a std stream from library code; record \
+                through Ei_obs or return the string to the caller"
+               (last_of txt))
+        | Pexp_ident { txt; loc } when is_print_path txt ->
+          emit ~loc ~rule:"no-print"
+            "Printf/Format printf writes to a std stream from library \
+             code; use Printf.sprintf and return it, or record through \
+             Ei_obs"
+        | _ -> ());
+  }
+
 let expr_rules =
   [
     rule_poly_compare; rule_hashtbl; rule_obj_magic; rule_no_abort;
-    rule_no_swallow;
+    rule_no_swallow; rule_no_print;
   ]
 
 (* ------------------------------------------------------------------ *)
 (* Per-file driver.                                                    *)
-
-let in_hot_path file =
-  let has_prefix_at i p =
-    i + String.length p <= String.length file
-    && String.equal (String.sub file i (String.length p)) p
-  in
-  List.exists
-    (fun d ->
-      let n = String.length file in
-      let rec scan i = i < n && (has_prefix_at i d || scan (i + 1)) in
-      scan 0)
-    hot_dirs
 
 let allowlisted ~file ~rule =
   List.exists
@@ -372,10 +420,7 @@ let lint_structure ~file structure =
     end
   in
   let env : env = Hashtbl.create 64 in
-  let hot = in_hot_path file in
-  let active =
-    List.filter (fun r -> (not r.hot_only) || hot) expr_rules
-  in
+  let active = List.filter (fun r -> r.applies file) expr_rules in
   let super = Ast_iterator.default_iterator in
   let iter =
     {

@@ -4,8 +4,12 @@
     monomorphic functions unless an operand is evidently an immediate
     value), [hashtbl] (no truncating [Hashtbl.hash] / default
     [Hashtbl.create] on string keys), [obj-magic], [no-abort] (no
-    [failwith] / [assert false] in library code), and [mli-coverage].
-    Adding a rule is adding one entry to the internal table. *)
+    [failwith] / [assert false] in library code), [no-swallow] (no
+    catch-all handlers that drop the exception), [no-print] (library
+    code outside [lib/obs] must not write to std streams), and
+    [mli-coverage].  Every rule carries its own file-path scope
+    predicate; adding a rule is adding one entry to the internal
+    table. *)
 
 type diag = {
   file : string;
@@ -30,6 +34,10 @@ val check_mli_coverage : ml_files:(string * string) list -> diag list
 val in_hot_path : string -> bool
 (** Whether a display path falls under a hot-path directory (the
     [poly-compare] scope). *)
+
+val in_quiet_lib : string -> bool
+(** Whether a display path falls under [lib/] but outside [lib/obs/]
+    (the [no-print] scope). *)
 
 val rules_help : unit -> string
 (** One line per rule, for [--rules]. *)
