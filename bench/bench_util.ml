@@ -19,10 +19,7 @@ let scaled n = max 1 (int_of_float (float_of_int n *. scale))
    derive one splitmix64 stream per domain from it, so multi-domain
    runs are reproducible: same seed, same per-domain op sequences,
    regardless of interleaving. *)
-let seed =
-  match Sys.getenv_opt "EI_SEED" with
-  | Some s -> ( try int_of_string s with _ -> 42)
-  | None -> 42
+let seed = Ei_util.Rng.env_seed ~default:42
 
 let domain_rng d = Ei_util.Rng.stream seed d
 

@@ -48,10 +48,7 @@ let () =
   let seed =
     match !seed with
     | Some s -> s
-    | None -> (
-      match Sys.getenv_opt "EI_SEED" with
-      | Some s -> ( match int_of_string_opt s with Some v -> v | None -> 42)
-      | None -> 42)
+    | None -> Ei_util.Rng.env_seed ~default:42
   in
   let cfg = Chaos.default_config ~seed in
   let cfg =

@@ -14,6 +14,10 @@
      trace  — run a sharded YCSB workload with the ei_obs trace ring on,
               slash the global bound mid-churn, and dump a Chrome
               trace_events JSON (chrome://tracing / Perfetto)
+     sim    — deterministic simulation testing ({!Ei_sim}): differential
+              op tapes against a pure oracle, schedule exploration over
+              the production yield points, perturbed chaos rounds; shrunk
+              failures replay from .sim.json artifacts
 
    Examples:
      ei ycsb --index elastic --workload E --records 50000 --ops 100000
@@ -22,7 +26,10 @@
      ei check --index elastic40 --ops 200000 --strict
      ei serve --shards 4 --records 100000 --ops 200000 --bound 60
      ei stats --index elastic --workload A --json
-     ei trace --shards 2 --records 50000 --ops 100000 --out ei.trace.json *)
+     ei trace --shards 2 --records 50000 --ops 100000 --out ei.trace.json
+     ei sim diff --a oracle --b olc-elastic --gen elastic --ops 40000
+     ei sim sched --scenario olc-convert-scan --rounds 25 --seed 1
+     ei sim --replay repro.sim.json *)
 
 open Cmdliner
 
@@ -657,6 +664,209 @@ let obs_trace_cmd =
              global bound mid-churn, and dump Chrome trace_events JSON.")
     term
 
+(* --- sim ---------------------------------------------------------------- *)
+
+(* Deterministic simulation testing (ei_sim): differential op tapes
+   against the pure oracle, schedule exploration over the production
+   yield points, and perturbed chaos rounds over the serving stack.
+   Every failure is shrunk and written as a replayable .sim.json
+   artifact; [ei sim --replay FILE] re-executes one. *)
+let sim_cmd =
+  let module Sim = Ei_sim.Sim in
+  let module Tape = Ei_sim.Tape in
+  let module Sched = Ei_sim.Sched in
+  let engine_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"ENGINE"
+             ~doc:"$(b,diff) (differential tape), $(b,sched) (schedule \
+                   exploration) or $(b,serve) (perturbed chaos rounds). \
+                   Omit when using --replay.")
+  in
+  let subject_doc =
+    "Sim subject: " ^ String.concat ", " Sim.subject_names ^ "."
+  in
+  let a_arg =
+    Arg.(value & opt string "oracle" & info [ "a" ] ~docv:"SUBJECT" ~doc:subject_doc)
+  in
+  let b_arg =
+    Arg.(value & opt string "btree" & info [ "b" ] ~docv:"SUBJECT" ~doc:subject_doc)
+  in
+  let ops_arg =
+    Arg.(value & opt int 40_000 & info [ "ops" ] ~doc:"Tape length (diff).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ]
+             ~doc:"Seed for the tape / schedule sampling / perturbed \
+                   rounds; a failing run replays exactly from its \
+                   artifact.")
+  in
+  let gen_arg =
+    Arg.(value & opt string "default"
+         & info [ "gen" ]
+             ~doc:"Tape generator (diff): default, elastic (adds bound \
+                   retunes; enables bound-compliance checks), or faulty \
+                   (adds transient-fault windows).")
+  in
+  let bound_arg =
+    Arg.(value & opt int (48 * 1024)
+         & info [ "bound" ]
+             ~doc:"Elastic size bound in bytes: seeds elastic subjects \
+                   and centres the elastic generator's bound sweep.")
+  in
+  let slack_arg =
+    Arg.(value & opt float 4.0
+         & info [ "slack" ]
+             ~doc:"Bound-compliance slack: checkpoints require \
+                   memory <= slack * bound (elastic subjects only).")
+  in
+  let scenario_arg =
+    Arg.(value & opt string "olc-race"
+         & info [ "scenario" ] ~docv:"NAME"
+             ~doc:"Scheduler scenario (sched): olc-race, olc-convert-scan \
+                   or lost-update (the planted-race self-test).")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 50
+         & info [ "rounds" ]
+             ~doc:"Random schedules (sched) or perturbed chaos rounds \
+                   (serve) to sample.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 2 & info [ "shards" ] ~doc:"Shard domains (serve).")
+  in
+  let scale_arg =
+    Arg.(value & opt float 0.02
+         & info [ "scale" ] ~doc:"Chaos workload scale factor (serve).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write the shrunk repro as a .sim.json artifact on \
+                   failure.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay a .sim.json artifact instead of running an \
+                   engine; exits 1 if it still reproduces.")
+  in
+  let run engine a b ops seed gen bound slack scenario rounds shards scale out
+      replay =
+    let write art =
+      match out with
+      | None -> ()
+      | Some path ->
+        Sim.write_artifact ~path art;
+        Printf.printf "wrote %s\n" path
+    in
+    match (replay, engine) with
+    | Some path, _ -> (
+      match Sim.replay_file ~path with
+      | Error e ->
+        prerr_endline e;
+        exit 2
+      | Ok (true, msg) ->
+        Printf.printf "%s: still reproduces\n%s\n" path msg;
+        exit 1
+      | Ok (false, msg) ->
+        Printf.printf "%s: no longer reproduces\n%s\n" path msg)
+    | None, Some "diff" ->
+      let subj name =
+        match Sim.subject_of_name ~bound ~key_len:8 name with
+        | Ok s -> s
+        | Error e ->
+          prerr_endline e;
+          exit 2
+      in
+      let sa = subj a and sb = subj b in
+      let g =
+        match gen with
+        | "default" -> Tape.default_gen ~ops ()
+        | "elastic" -> Tape.elastic_gen ~ops ~base_bound:bound ()
+        | "faulty" -> Tape.faulty_gen ~ops ()
+        | g ->
+          prerr_endline ("unknown generator: " ^ g);
+          exit 2
+      in
+      let check_mem =
+        (match gen with "elastic" -> true | _ -> false)
+        && sa.Sim.s_elastic && sb.Sim.s_elastic
+      in
+      let tape = Tape.generate ~seed g in
+      (match Sim.diff_pair ~slack ~check_mem sa sb tape with
+      | None ->
+        Printf.printf "ei sim diff: %s vs %s agree over %d op(s) (seed %d)\n"
+          a b (Array.length tape.Tape.ops) seed
+      | Some _ ->
+        let small = Sim.shrink_tape ~slack ~check_mem sa sb tape in
+        let d =
+          match Sim.diff_pair ~slack ~check_mem sa sb small with
+          | Some d -> d
+          | None ->
+            prerr_endline "shrunk tape no longer diverges (unstable repro)";
+            exit 2
+        in
+        let divergence = Sim.pp_divergence ~a ~b d in
+        Printf.printf "ei sim diff: DIVERGENCE (shrunk to %d op(s))\n%s\n"
+          (Array.length small.Tape.ops)
+          divergence;
+        write (Sim.A_diff { tape = small; a; b; bound; slack; check_mem; divergence });
+        exit 1)
+    | None, Some "sched" -> (
+      match Sim.scenario scenario with
+      | None ->
+        Printf.eprintf "unknown scenario %s (have: %s)\n" scenario
+          (String.concat ", " (Sim.scenario_names ()));
+        exit 2
+      | Some mk -> (
+        match Sched.explore ~seed ~rounds mk with
+        | None ->
+          Printf.printf
+            "ei sim sched: %s survived %d random schedule(s) (seed %d)\n"
+            scenario rounds seed
+        | Some f ->
+          let small = Sched.shrink ~schedule:f.Sched.schedule mk in
+          Printf.printf
+            "ei sim sched: %s FAILED (round %d)\n%s\nshrunk schedule \
+             (%d choice(s)): %s\n"
+            scenario f.Sched.round f.Sched.error (List.length small)
+            (String.concat " " (List.map string_of_int small));
+          write
+            (Sim.A_sched
+               { scenario; seed; schedule = small; error = f.Sched.error });
+          exit 1))
+    | None, Some "serve" -> (
+      match Sim.explore_serve ~shards ~scale ~seed ~rounds () with
+      | None ->
+        Printf.printf
+          "ei sim serve: %d perturbed round(s) clean (seed %d, %d \
+           shard(s), scale %g)\n"
+          rounds seed shards scale
+      | Some (round_seed, error) ->
+        Printf.printf "ei sim serve: FAILED (round seed %d)\n%s\n" round_seed
+          error;
+        write (Sim.A_serve { seed = round_seed; shards; scale; error });
+        exit 1)
+    | None, Some e ->
+      prerr_endline ("unknown engine: " ^ e ^ " (want diff, sched or serve)");
+      exit 2
+    | None, None ->
+      prerr_endline "need an ENGINE (diff, sched or serve) or --replay FILE";
+      exit 2
+  in
+  let term =
+    Term.(const run $ engine_arg $ a_arg $ b_arg $ ops_arg $ seed_arg $ gen_arg
+          $ bound_arg $ slack_arg $ scenario_arg $ rounds_arg $ shards_arg
+          $ scale_arg $ out_arg $ replay_arg)
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Deterministic simulation testing: differential tapes against \
+             the oracle, schedule exploration, perturbed chaos — with \
+             ddmin-shrunk replayable .sim.json repros.")
+    term
+
 (* --- volumes ----------------------------------------------------------- *)
 
 let volumes_cmd =
@@ -687,4 +897,5 @@ let () =
             chaos_cmd;
             stats_cmd;
             obs_trace_cmd;
+            sim_cmd;
           ]))

@@ -119,9 +119,28 @@ let site name =
   Mutex.unlock registry_lock;
   s
 
+(* --- Scheduler tap ---------------------------------------------------- *)
+
+(* A simulation harness may install a *tap*: a callback invoked with the
+   site name at every {!point} and at the entry of every {!fire}.  The
+   tap is how ei_sim turns fault sites into preemption points — it may
+   suspend the caller (an effect handler parks the fiber), so it must be
+   invoked while holding no Fault mutex.  Without a tap, a point is a
+   single atomic load, same as an inert fire. *)
+
+let tap : (string -> unit) option Atomic.t = Atomic.make None
+
+let set_tap f = Atomic.set tap f
+
+let tapped name =
+  match Atomic.get tap with None -> () | Some f -> f name
+
+let point s = tapped s.name
+
 (* --- Firing ---------------------------------------------------------- *)
 
 let fire s =
+  tapped s.name;
   if not (Atomic.get active) then false
   else begin
     Mutex.lock s.lock;

@@ -40,7 +40,22 @@ val site : string -> site
 val fire : site -> bool
 (** Draw at this site: [true] if the fault fires.  Inert without a
     plan.  Thread-safe; per-site call order is the determinism unit, so
-    keep a site's traffic on one domain for exact replay. *)
+    keep a site's traffic on one domain for exact replay.  Invokes the
+    installed {!set_tap} callback (if any) before drawing. *)
+
+val point : site -> unit
+(** A pure preemption point: never draws, never fires, only invokes the
+    installed {!set_tap} callback with the site name.  Without a tap
+    this is a single atomic load — the hook production code (OLC tree,
+    Serve) exposes to the simulation scheduler at no new dependency and
+    near-zero cost. *)
+
+val set_tap : (string -> unit) option -> unit
+(** Install (or remove, with [None]) the scheduler tap invoked at every
+    {!point} and at the entry of every {!fire}.  The callback runs
+    while holding no Fault lock, so it may suspend the caller (ei_sim
+    parks the calling fiber via an effect).  Process-global: only one
+    harness may drive taps at a time. *)
 
 val inject : site -> unit
 (** [fire] and raise {!Injected} with the site name when it fires. *)

@@ -107,6 +107,23 @@ let checksum = ref 0
 (* Scanned keys are folded into this sink so the compiler cannot elide
    the key materialisation work. *)
 
+(* Order-sensitive digest of the full contents: FNV-1a chained over
+   every (key, tid) pair in key order, starting from the all-zero key
+   (the minimum of the fixed-length big-endian key space).  Two indexes
+   over the same logical map produce the same fingerprint whatever their
+   physical layout — the equality ei_sim's differential engine checks at
+   tape checkpoints.  Quiescent use only: it walks the live structure
+   via [scan_keys] and [find]. *)
+let fingerprint (ix : t) =
+  let module Fnv = Ei_util.Fnv in
+  let h = ref 0 in
+  let low = String.make ix.key_len '\000' in
+  ignore
+    (ix.scan_keys low max_int (fun k ->
+         let tid = match ix.find k with Some tid -> tid | None -> -1 in
+         h := Fnv.hash ~seed:!h (k ^ string_of_int tid)));
+  !h
+
 let of_btree name (tree : Ei_btree.Btree.t) =
   {
     name;

@@ -60,6 +60,14 @@ val observed : prefix:string -> t -> t
 val checksum : int ref
 (** Sink for scanned key bytes (prevents dead-code elimination). *)
 
+val fingerprint : t -> int
+(** Order-sensitive FNV-1a digest of the full contents — every
+    [(key, tid)] pair in key order, walked from the all-zero key.  Two
+    indexes over the same logical map fingerprint equally whatever
+    their physical layout; this is the checkpoint equality of the
+    ei_sim differential engine.  Quiescent use only (walks the live
+    structure). *)
+
 val of_btree : string -> Ei_btree.Btree.t -> t
 val of_elastic : string -> Ei_core.Elastic_btree.t -> t
 val of_radix : string -> Ei_baselines.Radix.t -> t

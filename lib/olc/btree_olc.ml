@@ -45,6 +45,25 @@ let ev_set_bound =
 
 exception Restart
 
+(* --- Simulation preemption points ------------------------------------ *)
+
+(* Pure yield points for the deterministic scheduler in ei_sim: inert
+   single atomic loads in production, suspension points when a Fault tap
+   is installed.  They mark the schedule-sensitive transitions of the
+   protocol — spinning on a held lock, restarting after a conflict,
+   entering a write-locked section, converting a leaf representation,
+   and stepping the sibling chain of a scan.  The spin point is
+   load-bearing for the simulator: a fiber spinning in [read_lock] on a
+   lock held by a parked fiber must itself yield or the simulated run
+   livelocks. *)
+module Fault = Ei_fault.Fault
+
+let yp_spin = Fault.site "olc.yield.spin"
+let yp_restart = Fault.site "olc.yield.restart"
+let yp_locked = Fault.site "olc.yield.locked"
+let yp_convert = Fault.site "olc.yield.convert"
+let yp_scan = Fault.site "olc.yield.scan"
+
 (* --- Version locks -------------------------------------------------- *)
 
 let is_locked v = v land 1 = 1
@@ -52,6 +71,7 @@ let is_locked v = v land 1 = 1
 let rec read_lock a =
   let v = Atomic.get a in
   if is_locked v then begin
+    Fault.point yp_spin;
     Domain.cpu_relax ();
     read_lock a
   end
@@ -60,7 +80,9 @@ let rec read_lock a =
 let validate a v = Atomic.get a = v
 let check a v = if not (validate a v) then raise Restart
 let try_upgrade a v = Atomic.compare_and_set a v (v lor 1)
-let upgrade_or_restart a v = if not (try_upgrade a v) then raise Restart
+
+let upgrade_or_restart a v =
+  if try_upgrade a v then Fault.point yp_locked else raise Restart
 
 (* Release a write lock, bumping the version. *)
 let write_unlock a = Atomic.set a ((Atomic.get a lxor 1) + 2)
@@ -299,6 +321,7 @@ let elastic_conversions t =
 (* Convert a write-locked leaf's representation in place (std -> compact
    or compact capacity change), adjusting the shared accounting. *)
 let convert_locked_leaf t l ~capacity ~levels ~breathing =
+  Fault.point yp_convert;
   let before = leaf_bytes l in
   let was_compact = match l.repr with Lstd _ -> false | Lseq _ -> true in
   let from_capacity =
@@ -542,10 +565,12 @@ let with_restart f =
   let rec go n =
     try f () with
     | Restart ->
+      Fault.point yp_restart;
       Domain.cpu_relax ();
       go (n + 1)
     | Invalid_argument _ | Assert_failure _ ->
       (* torn optimistic read *)
+      Fault.point yp_restart;
       Domain.cpu_relax ();
       go (n + 1)
   in
@@ -791,6 +816,7 @@ let fold_range t ~start ~n f acc =
   let rec walk l remaining acc =
     if remaining <= 0 then acc
     else begin
+      Fault.point yp_scan;
       let entries, next = snapshot l in
       let taken = ref 0 in
       let acc =

@@ -265,9 +265,17 @@ exception Stale_generation
    exception, the poison as [Invariant.Broken], i.e. the signature of
    real structural corruption); then apply, absorbing a transient
    {!Fault.Injected} from the part itself as a rejected op. *)
+let yp_op = Fault.site "serve.yield.op"
+let yp_submit = Fault.site "serve.yield.submit"
+
 let shard_apply t i ~gen (st : shard_state) part sub =
   let n = Array.length sub.sops in
   for j = 0 to n - 1 do
+    (* Preemption point for the ei_sim schedule explorer: per applied
+       operation, so a perturbed run can stretch the window between a
+       client's submission and the shard's apply.  Inert in production
+       (one atomic load). *)
+    Fault.point yp_op;
     if Atomic.get st.gen <> gen then raise Stale_generation;
     (match st.faults with
     | Some f ->
@@ -738,6 +746,10 @@ let backoff_s attempt =
    submission is queued or degraded, and must not add or remove
    draws. *)
 let rec submit_sub t ~deadline ~barrier s sub attempt =
+  (* Preemption point per submission attempt (client side), pairing with
+     [yp_op] on the shard side so the explorer can reorder
+     submit/apply/recover interleavings. *)
+  Fault.point yp_submit;
   let st = t.shards.(s) in
   let expired () =
     match deadline with

@@ -1,0 +1,47 @@
+(* Delta-debugging minimisation (Zeller & Hildebrandt's ddmin, the
+   complement-reduction form): given a failing input sequence and a
+   predicate, repeatedly try dropping chunks — coarse halves first,
+   then finer granularity down to single elements — keeping any
+   complement that still fails.  The result is 1-minimal up to the
+   test budget: sound by construction (only failing subsets are ever
+   kept), and the budget caps the worst case on stubborn inputs. *)
+
+let minimize ?(budget = 1000) (input : 'a array) (fails : 'a array -> bool) :
+    'a array =
+  let tests = ref 0 in
+  let test a =
+    if !tests >= budget then false
+    else begin
+      incr tests;
+      fails a
+    end
+  in
+  let rec go current granularity =
+    let len = Array.length current in
+    if len <= 1 || granularity > len || !tests >= budget then current
+    else begin
+      let chunk = max 1 (len / granularity) in
+      let rec try_complements i =
+        if i * chunk >= len then None
+        else begin
+          let lo = i * chunk in
+          let hi = min len (lo + chunk) in
+          let comp =
+            Array.append (Array.sub current 0 lo)
+              (Array.sub current hi (len - hi))
+          in
+          if Array.length comp < len && test comp then Some comp
+          else try_complements (i + 1)
+        end
+      in
+      match try_complements 0 with
+      | Some comp ->
+        (* A chunk was removed: restart near-coarse on the smaller
+           input (classic ddmin resets granularity to max 2 (g-1)). *)
+        go comp (max 2 (granularity - 1))
+      | None ->
+        if chunk > 1 then go current (min len (granularity * 2))
+        else current
+    end
+  in
+  if Array.length input > 0 && fails input then go input 2 else input

@@ -1,0 +1,8 @@
+(** Delta-debugging minimisation (ddmin, complement-reduction form). *)
+
+val minimize : ?budget:int -> 'a array -> ('a array -> bool) -> 'a array
+(** [minimize input fails] is a subsequence of [input] on which [fails]
+    still holds, 1-minimal up to the test [budget] (default 1000
+    predicate evaluations).  Sound by construction: every kept
+    candidate was tested failing.  If [input] itself does not fail (or
+    is empty) it is returned unchanged. *)

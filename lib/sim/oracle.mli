@@ -1,0 +1,9 @@
+(** The reference oracle: a pure sorted map ([Map.Make (String)], whose
+    order is exactly {!Ei_util.Key.compare}) behind the uniform
+    {!Ei_harness.Index_ops} interface.  The differential engine diffs
+    real indexes against it op-by-op. *)
+
+val create : ?name:string -> key_len:int -> unit -> Ei_harness.Index_ops.t
+(** A fresh, empty oracle.  [memory_bytes] is 0 (the model spends no
+    index bytes), [set_size_bound] is a no-op, [backend] is
+    [B_composite [||]]. *)

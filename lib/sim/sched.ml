@@ -1,0 +1,224 @@
+(* Deterministic cooperative fiber scheduler: the schedule-exploration
+   engine of ei_sim.
+
+   Concurrency bugs in the OLC tree live in *interleavings*, and real
+   domains give no control over those.  Here every "thread" of a
+   scenario is a fiber on one domain; the production yield points
+   ([Fault.point] sites in Btree_olc and Serve) are routed to this
+   scheduler through the Fault tap, which performs a [Yield] effect —
+   the fiber parks and the scheduler picks who runs next.  The schedule
+   is then an explicit, replayable value: a list of choices, one per
+   step, each an index into the runnable set.
+
+   Two policies: [Random rng] samples schedules (seeded, so a failing
+   round replays from its seed), [Replay cs] follows a recorded choice
+   list and falls back to deterministic round-robin when it runs out —
+   which makes any choice-list prefix a valid schedule, the property
+   ddmin shrinking relies on.  Choices are taken modulo the runnable
+   count, so shrunk or hand-edited lists never go out of range.
+
+   Everything runs on the calling domain: no parallelism, no timing,
+   no races — a schedule replays bit-identically. *)
+
+module Fault = Ei_fault.Fault
+module Rng = Ei_util.Rng
+module Invariant = Ei_util.Invariant
+
+type _ Effect.t += Yield : string -> unit Effect.t
+
+(* An explicit yield for scenario bodies, through the same tap as the
+   production sites so it is inert outside the scheduler. *)
+let pause_site = Fault.site "sim.pause"
+let pause () = Fault.point pause_site
+
+type scenario = {
+  fibers : (string * (unit -> unit)) array;
+  check : unit -> unit;  (* runs after quiescence, tap uninstalled *)
+}
+
+type policy = Random of Rng.t | Replay of int list
+
+exception Stuck of string
+
+let () =
+  Printexc.register_printer (function
+    | Stuck msg -> Some ("Sched.Stuck: " ^ msg)
+    | _ -> None)
+
+(* The handler answer type: a fiber step either finishes the fiber or
+   parks it with the continuation to resume. *)
+type step = Done | Parked of (unit, step) Effect.Deep.continuation
+
+type fiber =
+  | Not_started of (unit -> unit)
+  | Suspended of (unit, step) Effect.Deep.continuation
+  | Finished
+
+let handler : (unit, step) Effect.Deep.handler =
+  {
+    retc = (fun () -> Done);
+    exnc = raise;
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield _ ->
+          Some
+            (fun (k : (a, step) Effect.Deep.continuation) -> Parked k)
+        | _ -> None);
+  }
+
+let run ?(max_steps = 200_000) ~policy scenario =
+  let n = Array.length scenario.fibers in
+  let state = Array.init n (fun i -> Not_started (snd scenario.fibers.(i))) in
+  let alive = ref n in
+  let last = ref (-1) in
+  let chosen = ref [] in
+  let steps = ref 0 in
+  let replay = ref (match policy with Replay cs -> cs | Random _ -> []) in
+  let runnable () =
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      match state.(i) with Finished -> () | _ -> out := i :: !out
+    done;
+    !out
+  in
+  let round_robin rs =
+    match List.find_opt (fun i -> i > !last) rs with
+    | Some i -> i
+    | None -> List.hd rs
+  in
+  let step_fiber i =
+    last := i;
+    chosen := i :: !chosen;
+    let outcome =
+      match state.(i) with
+      | Not_started body ->
+        Effect.Deep.match_with (fun () -> body ()) () handler
+      | Suspended k -> Effect.Deep.continue k ()
+      | Finished -> Invariant.impossible "Sched: stepped a finished fiber"
+    in
+    match outcome with
+    | Done ->
+      state.(i) <- Finished;
+      decr alive
+    | Parked k -> state.(i) <- Suspended k
+  in
+  (* On abort, unwind every parked fiber so its cleanup (e.g. an OLC
+     critical section releasing its lock) runs; secondary failures
+     during teardown are counted but cannot mask the primary error. *)
+  let teardown () =
+    Fault.set_tap None;
+    let secondary = ref 0 in
+    Array.iteri
+      (fun i st ->
+        match st with
+        | Suspended k -> (
+          state.(i) <- Finished;
+          match Effect.Deep.discontinue k Stdlib.Exit with
+          | (_ : step) -> ()
+          | exception _ -> incr secondary)
+        | Not_started _ | Finished -> ())
+      state;
+    !secondary
+  in
+  Fault.set_tap
+    (Some (fun site -> Effect.perform (Yield site)));
+  match
+    while !alive > 0 do
+      incr steps;
+      if !steps > max_steps then
+        raise
+          (Stuck
+             (Printf.sprintf "no quiescence after %d steps (%d fibers live)"
+                max_steps !alive));
+      let rs = runnable () in
+      let pick =
+        match policy with
+        | Random rng -> List.nth rs (Rng.int rng (List.length rs))
+        | Replay _ -> (
+          match !replay with
+          | c :: rest ->
+            replay := rest;
+            List.nth rs (c mod List.length rs)
+          | [] -> round_robin rs)
+      in
+      step_fiber pick
+    done
+  with
+  | () -> (
+    Fault.set_tap None;
+    match scenario.check () with
+    | () -> Ok (List.rev !chosen)
+    | exception e -> Error (List.rev !chosen, Printexc.to_string e))
+  | exception e ->
+    let secondary = teardown () in
+    let msg = Printexc.to_string e in
+    let msg =
+      if secondary = 0 then msg
+      else Printf.sprintf "%s (+%d secondary teardown failures)" msg secondary
+    in
+    Error (List.rev !chosen, msg)
+
+(* --- Exploration ------------------------------------------------------ *)
+
+type found = { round : int; schedule : int list; error : string }
+
+let explore ?max_steps ~seed ~rounds mk =
+  let rec go r =
+    if r >= rounds then None
+    else
+      match run ?max_steps ~policy:(Random (Rng.stream seed r)) (mk ()) with
+      | Ok _ -> go (r + 1)
+      | Error (schedule, error) -> Some { round = r; schedule; error }
+  in
+  go 0
+
+let replay ?max_steps ~schedule mk =
+  run ?max_steps ~policy:(Replay schedule) (mk ())
+
+let shrink ?max_steps ?(budget = 300) ~schedule mk =
+  let fails cs =
+    match run ?max_steps ~policy:(Replay (Array.to_list cs)) (mk ()) with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  Array.to_list
+    (Ddmin.minimize ~budget (Array.of_list schedule) fails)
+
+(* Exhaustive bounded exploration: every choice prefix in
+   [0, fanout)^depth (the run continues round-robin past the prefix).
+   Distinct prefixes can realize the same schedule — the runnable set
+   shrinks as fibers finish — so coverage is reported as the number of
+   distinct realized schedules. *)
+let enumerate ?max_steps ?(cap = 20_000) ~fanout ~depth mk =
+  let module Strtbl = Ei_util.Strtbl in
+  let seen = Strtbl.create 64 in
+  let failure = ref None in
+  let total =
+    let rec pow acc i = if i = 0 then acc else pow (acc * fanout) (i - 1) in
+    min cap (pow 1 depth)
+  in
+  for idx = 0 to total - 1 do
+    if Option.is_none !failure then begin
+      let prefix =
+        let digits = Array.make depth 0 in
+        let rec fill i v =
+          if i >= 0 then begin
+            digits.(i) <- v mod fanout;
+            fill (i - 1) (v / fanout)
+          end
+        in
+        fill (depth - 1) idx;
+        Array.to_list digits
+      in
+      match run ?max_steps ~policy:(Replay prefix) (mk ()) with
+      | Ok schedule ->
+        Strtbl.replace seen
+          (String.concat "," (List.map string_of_int schedule))
+          ()
+      | Error (schedule, error) ->
+        failure := Some { round = idx; schedule = prefix; error };
+        ignore schedule
+    end
+  done;
+  (!failure, Strtbl.length seen)

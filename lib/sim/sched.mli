@@ -1,0 +1,83 @@
+(** Deterministic cooperative fiber scheduler — the schedule-exploration
+    engine of ei_sim.
+
+    Scenario "threads" run as fibers on one domain; the production
+    yield points ({!Ei_fault.Fault.point} sites in [Btree_olc] and
+    [Serve]) reach the scheduler through the Fault tap as a [Yield]
+    effect.  A schedule is an explicit choice list (one index into the
+    runnable set per step), so it can be recorded, replayed
+    bit-identically, shrunk with ddmin and stored in a [.sim.json]
+    artifact. *)
+
+val pause : unit -> unit
+(** Explicit yield for scenario bodies (site ["sim.pause"]); inert
+    outside the scheduler, like every other yield point. *)
+
+type scenario = {
+  fibers : (string * (unit -> unit)) array;  (** (label, body) *)
+  check : unit -> unit;
+      (** runs after quiescence with the tap uninstalled; raise to fail
+          the run *)
+}
+
+type policy =
+  | Random of Ei_util.Rng.t
+      (** sample: at each step pick uniformly among runnable fibers *)
+  | Replay of int list
+      (** follow a recorded choice list (each choice taken modulo the
+          runnable count), then deterministic round-robin — so any
+          prefix or ddmin-shrunk subsequence is a valid schedule *)
+
+exception Stuck of string
+(** Raised (into the run's [Error]) when a run exceeds its step budget
+    — a livelock under the chosen schedule. *)
+
+val run :
+  ?max_steps:int ->
+  policy:policy ->
+  scenario ->
+  (int list, int list * string) result
+(** Run all fibers to quiescence, then [check].  [Ok schedule] is the
+    realized schedule; [Error (schedule, msg)] carries the realized
+    prefix and the failure (fiber exception, [Stuck], or [check]
+    failure).  On abort every parked fiber is unwound so locks held by
+    OLC critical sections are released.  Default [max_steps] 200_000. *)
+
+type found = { round : int; schedule : int list; error : string }
+
+val explore :
+  ?max_steps:int ->
+  seed:int ->
+  rounds:int ->
+  (unit -> scenario) ->
+  found option
+(** Sample [rounds] random schedules (round [r] uses
+    [Rng.stream seed r]); first failure wins.  [mk] must build a fresh
+    scenario per round. *)
+
+val replay :
+  ?max_steps:int ->
+  schedule:int list ->
+  (unit -> scenario) ->
+  (int list, int list * string) result
+
+val shrink :
+  ?max_steps:int ->
+  ?budget:int ->
+  schedule:int list ->
+  (unit -> scenario) ->
+  int list
+(** ddmin the choice list under "still fails when replayed"; sound
+    because only failing candidates are kept. *)
+
+val enumerate :
+  ?max_steps:int ->
+  ?cap:int ->
+  fanout:int ->
+  depth:int ->
+  (unit -> scenario) ->
+  found option * int
+(** Exhaustive bounded exploration: every choice prefix in
+    [[0, fanout)]{^ depth} (capped at [cap] runs), continuing
+    round-robin past the prefix.  Returns the first failure (if any)
+    and the number of distinct realized schedules. *)

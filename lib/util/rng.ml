@@ -57,3 +57,16 @@ let stream seed i =
     }
   in
   { state = next_int64 t }
+
+(* The one sanctioned way to read the experiment seed: every test and
+   bench executable derives its seeds from [env_seed], so a CI failure
+   line "EI_SEED=n" replays anywhere.  Malformed values fall back to the
+   default rather than abort — a typo'd override should not mask the
+   suite behind a startup crash. *)
+let env_seed ~default =
+  match Sys.getenv_opt "EI_SEED" with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some v -> v
+    | None -> default)

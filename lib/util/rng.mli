@@ -36,3 +36,9 @@ val stream : int -> int -> t
     [seed] by splitmix64 stream splitting: deterministic in [(seed, i)]
     and decorrelated across [i], so parallel domains can each take their
     own stream of a single experiment seed. *)
+
+val env_seed : default:int -> int
+(** The experiment seed: the [EI_SEED] environment variable when set to
+    an integer, [default] otherwise.  Every test and bench executable
+    derives its seeds through this, so one CI-printed [EI_SEED=n]
+    replays a failure in any executable. *)

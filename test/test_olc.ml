@@ -10,6 +10,10 @@ module Olc = Ei_olc.Btree_olc
 
 module Smap = Map.Make (String)
 
+(* Every seed below derives from EI_SEED (default 1), so a CI failure
+   reproduces with the printed seed: EI_SEED=n dune exec test/test_olc.exe *)
+let seed = Rng.env_seed ~default:1
+
 let mk ?(kind = Olc.Olc_std) ~key_len () =
   let table = Table.create ~key_len () in
   let load =
@@ -106,74 +110,93 @@ let test_parallel_disjoint_inserts () =
       | _ -> Alcotest.fail "key lost")
     keys
 
-let test_parallel_mixed () =
-  (* Writers insert overlapping random keys while readers look up and
-     scan; afterwards the tree must contain exactly the union. *)
-  let table, tree = mk ~kind:seq_kind ~key_len:8 () in
-  let n_keys = 8_000 in
-  let rng = Rng.create 99 in
-  let seen = Hashtbl.create 1024 in
-  let keys =
-    Array.init n_keys (fun _ ->
-        let rec fresh () =
-          let k = Key.random rng 8 in
-          if Hashtbl.mem seen k then fresh ()
-          else begin
-            Hashtbl.add seen k ();
-            k
-          end
-        in
-        fresh ())
+let test_mixed_sim () =
+  (* Deterministic port of the old free-running reader/writer race
+     (writers inserting overlapping slices, readers checking tids and
+     scan ordering until an Atomic stop flag flipped): the same
+     invariants, but the fibers now interleave at the tree's production
+     yield points under seeded schedules from the ei_sim scheduler, so
+     a failure replays bit-identically from its choice list instead of
+     depending on wall-clock timing.  Readers do a fixed amount of work
+     — no stop flag, no retry loop. *)
+  let module Sched = Ei_sim.Sched in
+  let n_keys = 512 in
+  let mk_scenario () =
+    let table, tree = mk ~kind:seq_kind ~key_len:8 () in
+    let rng = Rng.stream seed 99 in
+    let seen = Hashtbl.create 1024 in
+    let keys =
+      Array.init n_keys (fun _ ->
+          let rec fresh () =
+            let k = Key.random rng 8 in
+            if Hashtbl.mem seen k then fresh ()
+            else begin
+              Hashtbl.add seen k ();
+              k
+            end
+          in
+          fresh ())
+    in
+    let tids = Array.map (Table.append table) keys in
+    let writer d () =
+      (* Overlapping slice [d * n/8, d * n/8 + n/2). *)
+      let start = d * n_keys / 8 in
+      for i = start to start + (n_keys / 2) - 1 do
+        let i = i mod n_keys in
+        ignore (Olc.insert tree keys.(i) tids.(i))
+      done
+    in
+    let reader r () =
+      let rng = Rng.stream seed (7 + r) in
+      for _ = 1 to 128 do
+        let i = Rng.int rng n_keys in
+        (match Olc.find tree keys.(i) with
+        | Some tid -> if tid <> tids.(i) then failwith "wrong tid under race"
+        | None -> ());
+        ignore
+          (Olc.fold_range tree ~start:keys.(i) ~n:10
+             (fun acc k _ ->
+               (match acc with
+               | Some prev ->
+                 if Key.compare prev k >= 0 then failwith "scan out of order"
+               | None -> ());
+               Some k)
+             None);
+        Sched.pause ()
+      done
+    in
+    let check () =
+      Olc.check_invariants tree;
+      (* Union of writer slices. *)
+      let expected = Hashtbl.create 1024 in
+      for d = 0 to 2 do
+        let start = d * n_keys / 8 in
+        for i = start to start + (n_keys / 2) - 1 do
+          Hashtbl.replace expected (i mod n_keys) ()
+        done
+      done;
+      Alcotest.(check int) "union size" (Hashtbl.length expected)
+        (Olc.count tree);
+      Hashtbl.iter
+        (fun i () ->
+          match Olc.find tree keys.(i) with
+          | Some tid when tid = tids.(i) -> ()
+          | _ -> Alcotest.fail "missing after race")
+        expected
+    in
+    {
+      Sched.fibers =
+        Array.append
+          (Array.init 3 (fun d -> (Printf.sprintf "writer%d" d, writer d)))
+          (Array.init 2 (fun r -> (Printf.sprintf "reader%d" r, reader r)));
+      check;
+    }
   in
-  let tids = Array.map (Table.append table) keys in
-  let writer d () =
-    (* Each writer inserts an overlapping slice: [d * n/8, d * n/8 + n/2). *)
-    let start = d * n_keys / 8 in
-    for i = start to start + (n_keys / 2) - 1 do
-      let i = i mod n_keys in
-      ignore (Olc.insert tree keys.(i) tids.(i))
-    done
-  in
-  let stop = Atomic.make false in
-  let reader () =
-    let rng = Rng.create 7 in
-    while not (Atomic.get stop) do
-      let i = Rng.int rng n_keys in
-      (match Olc.find tree keys.(i) with
-      | Some tid -> if tid <> tids.(i) then failwith "wrong tid under race"
-      | None -> ());
-      ignore
-        (Olc.fold_range tree ~start:keys.(i) ~n:10
-           (fun acc k _ ->
-             (match acc with
-             | Some prev ->
-               if Key.compare prev k >= 0 then failwith "scan out of order"
-             | None -> ());
-             Some k)
-           None)
-    done
-  in
-  let writers = List.init 3 (fun d -> Domain.spawn (writer d)) in
-  let readers = List.init 2 (fun _ -> Domain.spawn reader) in
-  List.iter Domain.join writers;
-  Atomic.set stop true;
-  List.iter Domain.join readers;
-  Olc.check_invariants tree;
-  (* Union of writer slices. *)
-  let expected = Hashtbl.create 1024 in
-  for d = 0 to 2 do
-    let start = d * n_keys / 8 in
-    for i = start to start + (n_keys / 2) - 1 do
-      Hashtbl.replace expected (i mod n_keys) ()
-    done
-  done;
-  Alcotest.(check int) "union size" (Hashtbl.length expected) (Olc.count tree);
-  Hashtbl.iter
-    (fun i () ->
-      match Olc.find tree keys.(i) with
-      | Some tid when tid = tids.(i) -> ()
-      | _ -> Alcotest.fail "missing after race")
-    expected
+  match Sched.explore ~seed ~rounds:12 mk_scenario with
+  | None -> ()
+  | Some f ->
+    Alcotest.failf "mixed read/write failed (seed %d, round %d): %s" seed
+      f.Sched.round f.Sched.error
 
 let test_parallel_remove () =
   let table, tree = mk ~key_len:8 () in
@@ -197,7 +220,82 @@ let test_parallel_remove () =
 (* --- Elastic BTreeOLC -------------------------------------------------- *)
 
 let test_elastic_single_thread () =
-  single_thread ~kind:(elastic_kind ~size_bound:20_000) ~seed:3 ()
+  single_thread ~kind:(elastic_kind ~size_bound:20_000) ~seed:(seed + 2) ()
+
+let test_convert_scan_straddle () =
+  (* Regression: range queries straddling a compact/standard leaf
+     boundary while conversions run.  A tight bound leaves the tree
+     with both leaf kinds side by side; windowed scans from starts
+     spread across the whole key space must agree with a model after
+     every conversion-churning phase — filling past the bound
+     (compaction), interleaved removals (decompaction of drained
+     leaves), and a bound slash/restore cycle (forced sweeps in both
+     directions). *)
+  let table, tree = mk ~kind:(elastic_kind ~size_bound:8_192) ~key_len:8 () in
+  let n = 2_000 in
+  let keys = Array.init n (fun i -> Key.of_int i) in
+  let tids = Array.map (Table.append table) keys in
+  let present = Array.make n false in
+  let check_window start_i w =
+    let got =
+      List.rev
+        (Olc.fold_range tree ~start:keys.(start_i) ~n:w
+           (fun acc k t -> (k, t) :: acc)
+           [])
+    in
+    let expected =
+      let rec take j w acc =
+        if j >= n || w = 0 then List.rev acc
+        else if present.(j) then take (j + 1) (w - 1) ((keys.(j), tids.(j)) :: acc)
+        else take (j + 1) w acc
+      in
+      take start_i w []
+    in
+    if got <> expected then
+      Alcotest.failf "straddle scan mismatch at start %d width %d" start_i w
+  in
+  let sweep_windows () =
+    (* Starts at every 17th key cover every leaf boundary over the
+       phases; widths larger than a leaf force multi-leaf walks. *)
+    let i = ref 0 in
+    while !i < n do
+      check_window !i 48;
+      i := !i + 17
+    done
+  in
+  (* Phase 1: fill past the bound — the tree must compact some leaves
+     but not others. *)
+  Array.iteri
+    (fun i k ->
+      ignore (Olc.insert tree k tids.(i));
+      present.(i) <- true)
+    keys;
+  Alcotest.(check bool) "compact leaves exist" true
+    (Olc.elastic_compact_leaves tree > 0);
+  sweep_windows ();
+  (* Phase 2: interleave removals with scans so windows cross leaves
+     that are draining (and decompacting) as the sweep advances. *)
+  for i = 0 to n - 1 do
+    if i mod 3 = 0 then begin
+      ignore (Olc.remove tree keys.(i));
+      present.(i) <- false;
+      if i mod 96 = 0 then check_window (max 0 (i - 24)) 48
+    end
+  done;
+  sweep_windows ();
+  (* Phase 3: slash then restore the bound — full conversion sweeps in
+     both directions — scanning after each retune. *)
+  Olc.set_size_bound tree 2_048;
+  sweep_windows ();
+  Olc.set_size_bound tree (1 lsl 20);
+  for i = 0 to n - 1 do
+    if (not present.(i)) && i mod 6 = 0 then begin
+      ignore (Olc.insert tree keys.(i) tids.(i));
+      present.(i) <- true
+    end
+  done;
+  sweep_windows ();
+  Olc.check_invariants tree
 
 let test_elastic_concurrent_pressure () =
   (* Several domains insert concurrently past the bound: the tree must
@@ -208,7 +306,7 @@ let test_elastic_concurrent_pressure () =
   (* Shuffle so inserts spread over the key space: the overflow-piggyback
      policy compacts leaves that keep receiving inserts (append-only
      patterns need the cold-sweep variant, tested in ei_core). *)
-  Rng.shuffle (Rng.create 17) keys;
+  Rng.shuffle (Rng.stream seed 17) keys;
   let tids = Array.map (Table.append table) keys in
   let worker d () =
     for i = d * per_domain to ((d + 1) * per_domain) - 1 do
@@ -275,19 +373,24 @@ let () =
     [
       ( "single-thread",
         [
-          Alcotest.test_case "std leaves" `Quick (single_thread ~kind:Olc.Olc_std ~seed:1);
-          Alcotest.test_case "seqtree leaves" `Quick (single_thread ~kind:seq_kind ~seed:2);
+          Alcotest.test_case "std leaves" `Quick
+            (single_thread ~kind:Olc.Olc_std ~seed);
+          Alcotest.test_case "seqtree leaves" `Quick
+            (single_thread ~kind:seq_kind ~seed:(seed + 1));
         ] );
       ( "multi-domain",
         [
           Alcotest.test_case "disjoint inserts" `Quick test_parallel_disjoint_inserts;
-          Alcotest.test_case "mixed read/write" `Quick test_parallel_mixed;
+          Alcotest.test_case "mixed read/write (sim-scheduled)" `Quick
+            test_mixed_sim;
           Alcotest.test_case "parallel removes" `Quick test_parallel_remove;
         ] );
       ( "elastic-olc",
         [
           Alcotest.test_case "single-thread equivalence" `Quick
             test_elastic_single_thread;
+          Alcotest.test_case "convert/scan straddle regression" `Quick
+            test_convert_scan_straddle;
           Alcotest.test_case "concurrent pressure" `Quick
             test_elastic_concurrent_pressure;
           Alcotest.test_case "concurrent drain" `Quick test_elastic_concurrent_drain;

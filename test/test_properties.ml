@@ -452,7 +452,12 @@ let prop_state_machine =
         observations)
 
 let () =
-  let qt = QCheck_alcotest.to_alcotest in
+  (* Seed QCheck's generator state from EI_SEED (default 0) so property
+     runs are reproducible and re-rollable like the rest of the suite. *)
+  let qt =
+    QCheck_alcotest.to_alcotest
+      ~rand:(Random.State.make [| Ei_util.Rng.env_seed ~default:0 |])
+  in
   Alcotest.run "ei_properties"
     [
       ( "indexes-vs-model",
