@@ -344,10 +344,10 @@ let dominated_ablation () =
   pf "paper's reasons to omit: skiplist memory > STX (%b); bwtree space <=
       STX (%b) but slower (%b); ART bigger than HOT (%b)
 "
-    (sl_b > stx_b)
-    (bw_b <= stx_b)
-    (bw_i < stx_i && bw_l < stx_l)
-    (art_b > hot_b)
+    (sl_b > (stx_b : int))
+    (bw_b <= (stx_b : int))
+    (Float.compare bw_i stx_i < 0 && Float.compare bw_l stx_l < 0)
+    (art_b > (hot_b : int))
 
 let run () =
   header "Ablations: design-choice studies beyond the paper's figures";

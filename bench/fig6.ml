@@ -80,7 +80,7 @@ let run () =
     (fun (dist, dist_label) ->
       subheader
         (Printf.sprintf "6%s: transaction throughput (Mops), %s keys"
-           (if dist = Ycsb.Uniform then "b" else "c")
+           (match dist with Ycsb.Uniform -> "b" | _ -> "c")
            dist_label);
       print_row
         ("index"

@@ -69,7 +69,7 @@ let run () =
             done)
       in
       let bytes = Ei_mcas.Store.ado_memory_bytes store ~partition:0 in
-      if label = "stx" then stx_mem := bytes;
+      if String.equal label "stx" then stx_mem := bytes;
       let cell phase m =
         emit_mops ~name:"fig8"
           ~params:[ ("index", label); ("phase", phase) ]

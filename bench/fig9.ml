@@ -51,7 +51,7 @@ let run () =
         ( slots,
           List.map
             (fun lvl ->
-              if lvl <= max_levels slots then begin
+              if lvl <= (max_levels slots : int) then begin
                 let ((ins, srch) as r) = bench_one ~keys ~load ~slots ~levels:lvl in
                 let cell phase m =
                   emit_mops ~name:"fig9"

@@ -18,7 +18,7 @@ module Index_ops = Ei_harness.Index_ops
 let fill_until index keys ~budget =
   let n = Array.length keys in
   let i = ref 0 in
-  while !i < n && index.Index_ops.memory_bytes () < budget do
+  while !i < n && index.Index_ops.memory_bytes () < (budget : int) do
     let k, tid = keys.(!i) in
     ignore (index.Index_ops.insert k tid);
     incr i

@@ -25,18 +25,21 @@ let soak_btree () =
       let tid = match Hashtbl.find_opt tid_of k with
         | Some t -> t | None -> let t = Table.append table k in Hashtbl.add tid_of k t; t in
       let r = Ei_core.Elastic_btree.insert t k tid in
-      if r <> not (Smap.mem k !model) then failwith "insert mismatch";
+      if Bool.equal r (Smap.mem k !model) then failwith "insert mismatch";
       if r then model := Smap.add k tid !model
     end else if c < 75 then begin
       let r = Ei_core.Elastic_btree.remove t k in
-      if r <> Smap.mem k !model then failwith "remove mismatch";
+      if not (Bool.equal r (Smap.mem k !model)) then failwith "remove mismatch";
       model := Smap.remove k !model
     end else if c < 90 then begin
-      if Ei_core.Elastic_btree.find t k <> Smap.find_opt k !model then failwith "find mismatch"
+      if not (Option.equal Int.equal (Ei_core.Elastic_btree.find t k)
+                (Smap.find_opt k !model))
+      then failwith "find mismatch"
     end else begin
       let got = Ei_core.Elastic_btree.fold_range t ~start:k ~n:12 (fun a k' v -> (k',v)::a) [] |> List.rev in
       let exp = Smap.to_seq !model |> Seq.filter (fun (k',_) -> Key.compare k' k >= 0) |> Seq.take 12 |> List.of_seq in
-      if got <> exp then failwith "scan mismatch"
+      let pair_eq (k1, v1) (k2, v2) = String.equal k1 k2 && Int.equal v1 v2 in
+      if not (List.equal pair_eq got exp) then failwith "scan mismatch"
     end;
     if step mod 10_000 = 0 then Ei_core.Elastic_btree.check_invariants t
   done;
@@ -60,13 +63,16 @@ let soak_skiplist () =
       let tid = match Hashtbl.find_opt tid_of k with
         | Some t -> t | None -> let t = Table.append table k in Hashtbl.add tid_of k t; t in
       let r = E.insert t k tid in
-      if r <> not (Smap.mem k !model) then failwith "sl insert mismatch";
+      if Bool.equal r (Smap.mem k !model) then failwith "sl insert mismatch";
       if r then model := Smap.add k tid !model
     end else if c < 75 then begin
       let r = E.remove t k in
-      if r <> Smap.mem k !model then failwith "sl remove mismatch";
+      if not (Bool.equal r (Smap.mem k !model)) then failwith "sl remove mismatch";
       model := Smap.remove k !model
-    end else if Ei_core.Elastic_skiplist.find t k <> Smap.find_opt k !model then failwith "sl find mismatch";
+    end else if
+      not (Option.equal Int.equal (Ei_core.Elastic_skiplist.find t k)
+             (Smap.find_opt k !model))
+    then failwith "sl find mismatch";
     if step mod 10_000 = 0 then E.check_invariants t
   done;
   Printf.printf "skiplist soak: 150k ops ok; %d items, %d segments\n%!" (E.count t) (E.segments t)

@@ -14,6 +14,8 @@
      trace  — run a sharded YCSB workload with the ei_obs trace ring on,
               slash the global bound mid-churn, and dump a Chrome
               trace_events JSON (chrome://tracing / Perfetto)
+     analyze — run the ei_race concurrency-discipline static analyzer
+              over the libraries' typedtrees (.cmt files)
      sim    — deterministic simulation testing ({!Ei_sim}): differential
               op tapes against a pure oracle, schedule exploration over
               the production yield points, perturbed chaos rounds; shrunk
@@ -867,6 +869,67 @@ let sim_cmd =
              ddmin-shrunk replayable .sim.json repros.")
     term
 
+(* --- analyze ------------------------------------------------------------ *)
+
+(* The ei_race static analyzer behind the CLI: scan the typedtrees
+   (.cmt files) of the concurrent libraries for lock-discipline, yield
+   -point and shared-state findings.  Roots default to the five
+   concurrent libraries and are resolved against _build/default, so
+   [dune build @lib/all && ei analyze] works from a checkout. *)
+let analyze_cmd =
+  let roots_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"DIR|FILE.cmt"
+             ~doc:"Directories (searched recursively for .cmt files) or \
+                   single .cmt files; given paths are tried as-is, then \
+                   under _build/default.  Defaults to the concurrent \
+                   libraries: lib/olc lib/shard lib/core lib/fault \
+                   lib/obs.")
+  in
+  let baseline_arg =
+    Arg.(value & opt (some string) None
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"Baseline file of accepted findings (one \
+                   $(i,rule file slug) per line); matching findings are \
+                   suppressed, unmatched entries are reported as stale.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit findings and the shared-state inventory as JSON.")
+  in
+  let inventory_arg =
+    Arg.(value & flag
+         & info [ "inventory" ]
+             ~doc:"Also print the shared-state inventory (every mutable \
+                   datum with its declared guard).")
+  in
+  let rules_arg =
+    Arg.(value & flag
+         & info [ "rules" ] ~doc:"Describe the rule families and exit.")
+  in
+  let run roots baseline json inventory rules =
+    if rules then print_endline (Analyze_rules.rules_help ())
+    else
+      match Analyze_driver.execute ?baseline_file:baseline roots with
+      | Error msg ->
+        prerr_endline ("ei analyze: " ^ msg);
+        exit 2
+      | Ok r ->
+        if json then print_endline (Analyze_driver.json_string r)
+        else Analyze_driver.print_text ~show_inventory:inventory r;
+        exit (Analyze_driver.exit_code r)
+  in
+  let term =
+    Term.(const run $ roots_arg $ baseline_arg $ json_arg $ inventory_arg
+          $ rules_arg)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the ei_race concurrency-discipline static analyzer over \
+             the libraries' typedtrees (.cmt files).")
+    term
+
 (* --- volumes ----------------------------------------------------------- *)
 
 let volumes_cmd =
@@ -898,4 +961,5 @@ let () =
             stats_cmd;
             obs_trace_cmd;
             sim_cmd;
+            analyze_cmd;
           ]))

@@ -9,12 +9,15 @@
 
 module Btree = Ei_btree.Btree
 
+(* Serial structure: one elastic tree is owned by one domain at a time
+   ({!Ei_shard.Serve} gives each part its own domain and queue). *)
 type t = {
   tree : Btree.t;
   elasticity : Elasticity.t;
   mutable config : Elasticity.config;
   mutable ops : int;  (* operation counter driving cold sweeps *)
 }
+[@@ei.single_domain]
 
 let create ?(leaf_capacity = 16) ?(inner_capacity = 16) ~key_len ~load config () =
   let elasticity = Elasticity.create ~std_capacity:leaf_capacity config in

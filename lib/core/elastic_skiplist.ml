@@ -38,11 +38,18 @@ let c_conversions = Metrics.counter "skiplist.conversions"
 let ev_state =
   Trace.define ~cat:"elastic" ~arg0:"state" ~arg1:"bytes" "skiplist.state"
 
+(* Serial structure: a list and its nodes are owned by one domain at a
+   time ({!Ei_shard.Serve} gives each part its own domain and queue). *)
 type payload =
   | Single of { key : string; mutable tid : int }
   | Segment of Seqtree.t
+[@@ei.single_domain]
 
-type node = { mutable payload : payload; forward : node option array }
+type node = {
+  mutable payload : payload;
+  forward : node option array;
+}
+[@@ei.single_domain]
 
 type state = Normal | Shrinking | Expanding
 
@@ -86,6 +93,7 @@ type t = {
   mutable transitions : int;
   mutable conversions : int;
 }
+[@@ei.single_domain]
 
 let state_name = function
   | Normal -> "normal"

@@ -96,6 +96,8 @@ let default_config ~size_bound =
     fault_site = "";
   }
 
+(* Serial state machine: owned by the index that embeds it, which is
+   itself single-domain (see {!Elastic_btree.t}). *)
 type t = {
   mutable config : config;
   (* mutable so a coordinator can retune [size_bound] on a live index *)
@@ -106,6 +108,7 @@ type t = {
   slash : Ei_fault.Fault.site option;
   mutable slashes : int;
 }
+[@@ei.single_domain]
 
 let create ~std_capacity config =
   assert (config.size_bound > 0);

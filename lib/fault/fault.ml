@@ -40,10 +40,10 @@ type site = {
          case — each shard's sites live in that shard's domain) replay
          exactly; a site shared across domains is deterministic only in
          aggregate. *)
-  mutable rng : Rng.t;
-  mutable prob : float;
-  mutable calls : int;
-  mutable fired : int;
+  mutable rng : Rng.t [@ei.guarded_by "lock"];
+  mutable prob : float [@ei.guarded_by "lock"];
+  mutable calls : int [@ei.guarded_by "lock"];
+  mutable fired : int [@ei.guarded_by "lock"];
   ev : int;  (* trace-event kind for this site's draws *)
 }
 
@@ -51,9 +51,11 @@ type site = {
 
 let active = Atomic.make false
 let registry_lock = Mutex.create ()
-let registry : site Strtbl.t = Strtbl.create 64
-let plan : (string * float) list ref = ref []
-let plan_seed = ref 0
+let[@ei.guarded_by "registry_lock"] registry : site Strtbl.t =
+  Strtbl.create 64
+
+let[@ei.guarded_by "registry_lock"] plan : (string * float) list ref = ref []
+let[@ei.guarded_by "registry_lock"] plan_seed = ref 0
 
 (* A plan key matches a site name when its dot-separated segments are a
    prefix of the name's, with ["*"] matching any one segment:

@@ -135,10 +135,10 @@ let reset_histogram h =
 (* --- Registry --------------------------------------------------------- *)
 
 let lock = Mutex.create ()
-let counters : counter Strtbl.t = Strtbl.create 64
-let gauges : gauge Strtbl.t = Strtbl.create 16
-let histograms : histogram Strtbl.t = Strtbl.create 32
-let probes : (unit -> int) Strtbl.t = Strtbl.create 16
+let[@ei.guarded_by "lock"] counters : counter Strtbl.t = Strtbl.create 64
+let[@ei.guarded_by "lock"] gauges : gauge Strtbl.t = Strtbl.create 16
+let[@ei.guarded_by "lock"] histograms : histogram Strtbl.t = Strtbl.create 32
+let[@ei.guarded_by "lock"] probes : (unit -> int) Strtbl.t = Strtbl.create 16
 
 let with_lock f =
   Mutex.lock lock;

@@ -37,7 +37,7 @@ type kind = {
 }
 
 let kinds_lock = Mutex.create ()
-let kinds : kind array ref = ref [||]
+let[@ei.guarded_by "kinds_lock"] kinds : kind array ref = ref [||]
 
 let define ?(span = false) ?(arg0 = "") ?(arg1 = "") ~cat name =
   Mutex.lock kinds_lock;
@@ -51,6 +51,8 @@ let define ?(span = false) ?(arg0 = "") ?(arg1 = "") ~cat name =
 
 (* --- Rings ------------------------------------------------------------ *)
 
+(* One ring per domain, written only by its owner; a reader walking the
+   ring after the fact tolerates torn slots (see [drain]). *)
 type ring = {
   rdom : int;
   rts : int array;
@@ -59,6 +61,7 @@ type ring = {
   rb : int array;
   mutable cursor : int;  (* total events ever written; single writer *)
 }
+[@@ei.single_domain]
 
 let default_capacity = 32768
 let capacity = Atomic.make default_capacity
@@ -70,7 +73,7 @@ let set_ring_capacity n =
   Atomic.set capacity (pow2_at_least n 16)
 
 let rings_lock = Mutex.create ()
-let rings : ring list ref = ref []
+let[@ei.guarded_by "rings_lock"] rings : ring list ref = ref []
 
 let new_ring () =
   let cap = Atomic.get capacity in

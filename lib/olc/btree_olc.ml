@@ -121,15 +121,16 @@ type node =
 
 and inner = {
   iversion : int Atomic.t;
-  mutable n : int;
-  keys : string array;
-  children : node array;
+  mutable n : int [@ei.guarded_by "iversion"];
+  keys : string array [@ei.guarded_by "iversion"];
+  children : node array [@ei.guarded_by "iversion"];
 }
 
 and leaf = {
   lversion : int Atomic.t;
-  mutable repr : leaf_repr;
-  mutable next : leaf option;  (* sibling chain; never unlinked *)
+  mutable repr : leaf_repr [@ei.guarded_by "lversion"];
+  (* sibling chain; never unlinked *)
+  mutable next : leaf option [@ei.guarded_by "lversion"];
 }
 
 type leaf_kind =
@@ -180,7 +181,7 @@ type t = {
   kind : leaf_kind;
   load : int -> string;
   root_lock : int Atomic.t;  (* guards the root pointer *)
-  mutable root : node;
+  mutable root : node [@ei.guarded_by "root_lock"];
   elastic : elastic_state option;
 }
 

@@ -30,6 +30,8 @@ type faults = {
   f_refuse : Fault.site;
 }
 
+(* Every mutable datum of the queue — ring slots included — is read and
+   written under [lock] only, hence the type-level guard. *)
 type 'a t = {
   buf : 'a option array;  (* ring; [None] marks a free slot *)
   capacity : int;
@@ -41,6 +43,7 @@ type 'a t = {
   not_full : Condition.t;
   faults : faults option;
 }
+[@@ei.guarded_by "lock"]
 
 let create ?fault_prefix ~capacity () =
   assert (capacity > 0);
@@ -124,27 +127,34 @@ let pop_batch t ~max:m =
     end
   in
   let out =
-    if not (available ()) then []
-    else begin
-      let k = if t.len < m then t.len else m in
-      let rec take i acc =
-        if i = k then List.rev acc
-        else begin
-          let x =
-            match t.buf.(t.head) with
-            | Some x -> x
-            | None -> Invariant.impossible "Mpsc_queue: empty slot inside ring"
-          in
-          t.buf.(t.head) <- None;
-          t.head <- (t.head + 1) mod t.capacity;
-          take (i + 1) (x :: acc)
-        end
-      in
-      let xs = take 0 [] in
-      t.len <- t.len - k;
-      Condition.broadcast t.not_full;
-      xs
-    end
+    (* Release the lock even if the ring invariant trips: a leaked lock
+       turns a crash into a deadlock for every later producer. *)
+    try
+      if not (available ()) then []
+      else begin
+        let k = if t.len < m then t.len else m in
+        let rec take i acc =
+          if i = k then List.rev acc
+          else begin
+            let x =
+              match t.buf.(t.head) with
+              | Some x -> x
+              | None ->
+                Invariant.impossible "Mpsc_queue: empty slot inside ring"
+            in
+            t.buf.(t.head) <- None;
+            t.head <- (t.head + 1) mod t.capacity;
+            take (i + 1) (x :: acc)
+          end
+        in
+        let xs = take 0 [] in
+        t.len <- t.len - k;
+        Condition.broadcast t.not_full;
+        xs
+      end
+    with e ->
+      Mutex.unlock t.lock;
+      raise e
   in
   Mutex.unlock t.lock;
   out

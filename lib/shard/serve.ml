@@ -99,13 +99,19 @@ let rejected_code = min_int + 1
 type waiter = {
   wlock : Mutex.t;
   wcond : Condition.t;
-  mutable pending : int;  (* sub-batches not yet applied *)
+  (* sub-batches not yet applied *)
+  mutable pending : int [@ei.guarded_by "wlock"];
 }
 
 type sub = {
-  sops : op array;
-  dest : int array;  (* result slot of each op *)
-  results : int array;  (* shared with the submitting client *)
+  (* [sops] and [dest] are filled by the submitting client before the
+     sub-batch is enqueued and never written afterwards; the queue's
+     lock publishes them to the shard domain. *)
+  sops : op array [@ei.guarded_by "queue handoff (frozen after enqueue)"];
+  dest : int array [@ei.guarded_by "queue handoff (frozen after enqueue)"];
+  (* result slots are written by the shard domain and read by the client
+     only after [waiter.pending] reaches zero under [wlock] *)
+  results : int array [@ei.guarded_by "waiter.wlock"];
   collect : (string -> unit) option;  (* scan_keys sink *)
   waiter : waiter;
 }
@@ -154,8 +160,10 @@ type shard_state = {
      supervisor acts only on current-generation failures *)
   qlock : Mutex.t;  (* quarantined direct access vs. rebuild *)
   faults : shard_faults option;
-  mutable domain : unit Domain.t option;  (* supervisor / stop only *)
-  mutable abandoned : unit Domain.t list;  (* wedged, never joined *)
+  (* supervisor / stop only *)
+  mutable domain : unit Domain.t option [@ei.single_domain];
+  (* wedged, never joined; supervisor-only like [domain] *)
+  mutable abandoned : unit Domain.t list [@ei.single_domain];
 }
 
 type recovery = {
@@ -166,7 +174,7 @@ type recovery = {
 
 type t = {
   router : Shard.t;
-  shards : shard_state array;
+  shards : shard_state array [@ei.guarded_by "frozen after create"];
   sizes : int Atomic.t array;  (* published by shard domains *)
   batches : int Atomic.t;  (* sub-batches applied, fleet-wide *)
   rebalances : int Atomic.t;
@@ -179,8 +187,10 @@ type t = {
   fault_prefix : string option;
   stopping : bool Atomic.t;
   log_lock : Mutex.t;
-  mutable log : recovery list;  (* newest first *)
-  mutable aux : unit Domain.t list;  (* coordinator + supervisor *)
+  (* newest first *)
+  mutable log : recovery list [@ei.guarded_by "log_lock"];
+  (* coordinator + supervisor; written by create/stop only *)
+  mutable aux : unit Domain.t list [@ei.single_domain];
 }
 
 let now () = Unix.gettimeofday ()
@@ -243,12 +253,18 @@ let complete w =
    abandoned zombie dying late can neither trigger a spurious recovery
    of its healthy replacement nor clobber the replacement's own parked
    failure.  (The supervisor clears stale-generation parks.) *)
+let yp_park = Fault.site "serve.yield.park"
+
 let rec park st ~gen e =
   match Atomic.get st.failed with
   | Some (g, _) when g >= gen -> ()
   | cur ->
-    if not (Atomic.compare_and_set st.failed cur (Some (gen, e))) then
+    if not (Atomic.compare_and_set st.failed cur (Some (gen, e))) then begin
+      (* Preemption point on the CAS-retry edge so the schedule
+         explorer can interleave two domains racing to park. *)
+      Fault.point yp_park;
       park st ~gen e
+    end
 
 exception Stale_generation
 
@@ -267,6 +283,7 @@ exception Stale_generation
    {!Fault.Injected} from the part itself as a rejected op. *)
 let yp_op = Fault.site "serve.yield.op"
 let yp_submit = Fault.site "serve.yield.submit"
+let yp_rebuild = Fault.site "serve.yield.rebuild"
 
 let shard_apply t i ~gen (st : shard_state) part sub =
   let n = Array.length sub.sops in
@@ -515,7 +532,12 @@ let recover t scfg i ~cause =
         let rec ins () =
           match fresh.Index_ops.insert key tid with
           | _ -> ()
-          | exception Fault.Injected _ -> ins ()
+          | exception Fault.Injected _ ->
+            (* Preemption point on the rebuild retry edge: without it a
+               permanently-armed site spins the supervisor invisibly to
+               the schedule explorer. *)
+            Fault.point yp_rebuild;
+            ins ()
         in
         ins ();
         incr rows

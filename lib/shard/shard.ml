@@ -12,7 +12,12 @@
 
 module Index_ops = Ei_harness.Index_ops
 
-type t = { map : Shard_map.t; parts : Index_ops.t array }
+type t = {
+  map : Shard_map.t;
+  (* slot [i] is swapped only by shard [i]'s recovery, under that
+     shard's [qlock] (see {!Serve.recover}) *)
+  parts : Index_ops.t array [@ei.guarded_by "shards.(i).qlock"];
+}
 
 let create parts =
   assert (Array.length parts > 0);

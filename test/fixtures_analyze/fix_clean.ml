@@ -1,0 +1,37 @@
+(* Clean fixture: annotated state, balanced locks, a yielding retry
+   loop and a CAS-free counter.  Must produce zero findings. *)
+
+type state = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable ready : bool [@ei.guarded_by "lock"];
+  gen : int Atomic.t;
+}
+
+let make () =
+  {
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    ready = false;
+    gen = Atomic.make 0;
+  }
+
+let signal st =
+  Mutex.lock st.lock;
+  st.ready <- true;
+  Condition.signal st.cond;
+  Mutex.unlock st.lock
+
+let rec await st =
+  Mutex.lock st.lock;
+  let r =
+    if st.ready then true
+    else begin
+      Condition.wait st.cond st.lock;
+      false
+    end
+  in
+  Mutex.unlock st.lock;
+  if r then () else await st
+
+let tick st = ignore (Atomic.fetch_and_add st.gen 1)

@@ -1,0 +1,30 @@
+(* Planted rule-2 violations around a local version-lock protocol
+   (same names as the OLC primitives, so the walk tracks them). *)
+
+let try_upgrade (a : int Atomic.t) =
+  let v = Atomic.get a in
+  v land 1 = 0 && Atomic.compare_and_set a v (v lor 1)
+
+let write_unlock (a : int Atomic.t) = Atomic.set a 0
+
+let leak a work =
+  if try_upgrade a then work ()
+(* finding: lock held on the then-path at function exit *)
+
+let raise_locked a n =
+  if try_upgrade a then begin
+    if n = 99 then failwith "corrupt";  (* finding: raises while locked *)
+    write_unlock a
+  end
+
+let balanced a work =
+  if try_upgrade a then begin
+    work ();
+    write_unlock a
+  end
+(* clean: released on every path *)
+
+let mutex_leak (m : Mutex.t) cond =
+  Mutex.lock m;
+  if cond then Mutex.unlock m
+(* finding: unlocked on one path only *)

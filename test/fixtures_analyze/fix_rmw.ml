@@ -1,0 +1,13 @@
+(* Planted rule-4 violation: atomic read-modify-write outside any
+   lock-held region (a lost-update window). *)
+
+let bump (a : int Atomic.t) = Atomic.set a (Atomic.get a + 1) (* finding *)
+
+let bump_locked (m : Mutex.t) (a : int Atomic.t) =
+  Mutex.lock m;
+  Atomic.set a (Atomic.get a + 1);
+  (* clean: the lock serialises the load-store pair *)
+  Mutex.unlock m
+
+let bump_cas (a : int Atomic.t) = ignore (Atomic.fetch_and_add a 1)
+(* clean: single atomic instruction *)

@@ -1,0 +1,16 @@
+(* Planted rule-3 violations: domain-crossing retry loops without a
+   yield site, invisible to the ei_sim schedule explorer. *)
+
+let rec spin_cas (a : int Atomic.t) v =
+  let cur = Atomic.get a in
+  if not (Atomic.compare_and_set a cur v) then spin_cas a v
+(* finding: self-recursive retry, sync-touching, no yield *)
+
+let busy_wait (flag : bool Atomic.t) =
+  while not (Atomic.get flag) do () done
+(* finding: sync-polling while loop, no yield *)
+
+let counting_loop () =
+  let i = ref 0 in
+  while !i < 10 do incr i done
+(* clean: no synchronization involved *)

@@ -1,0 +1,17 @@
+(* Planted rule-1 violations: shared mutable state with no concurrency
+   annotation.  The annotated declarations must NOT fire. *)
+
+type cache = {
+  lock : Mutex.t;
+  mutable hits : int;  (* finding: unguarded mutable field *)
+  slots : int array;  (* finding: unguarded array field *)
+  mutable misses : int [@ei.guarded_by "lock"];  (* clean *)
+}
+
+let total = ref 0 (* finding: module-level ref *)
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 8
+(* finding: module-level table (and through a type constraint) *)
+
+let[@ei.single_domain] scratch = Array.make 4 0 (* clean *)
+let generation = Atomic.make 0 (* clean: atomics need no guard *)

@@ -1,0 +1,163 @@
+(* Regression tests for the ei_race concurrency-discipline analyzer.
+
+   The fixtures under fixtures_analyze/ are compiled by dune like any
+   library, so their .cmt typedtrees sit in the build tree next to this
+   test; the analyzer must fire on every planted violation at its exact
+   file:line:col, and stay silent on the clean fixture and on every
+   deliberately-annotated declaration inside the others.  The baseline
+   machinery is exercised separately: a matching entry suppresses its
+   finding, a stale entry is reported as unused. *)
+
+let fixture_dir = "fixtures_analyze/.analyze_fixtures.objs/byte"
+
+let fixture_cmts () =
+  if not (Sys.file_exists fixture_dir) then
+    Alcotest.failf "fixture cmts not found at %s (cwd %s)" fixture_dir
+      (Sys.getcwd ());
+  Sys.readdir fixture_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".cmt")
+  |> List.map (Filename.concat fixture_dir)
+
+let result = lazy (Analyze_rules.analyze_cmts (fixture_cmts ()))
+
+let findings_of file =
+  List.filter
+    (fun (f : Analyze_rules.finding) ->
+      String.equal (Filename.basename f.diag.Report.file) file)
+    (Lazy.force result).Analyze_rules.findings
+
+let check_firing ~file expected =
+  let got =
+    List.sort compare
+      (List.map
+         (fun (f : Analyze_rules.finding) ->
+           (f.diag.Report.line, f.diag.Report.col, f.diag.Report.rule))
+         (findings_of file))
+  in
+  let expected = List.sort compare expected in
+  let show l =
+    String.concat "; "
+      (List.map (fun (l, c, r) -> Printf.sprintf "%d:%d %s" l c r) l)
+  in
+  if got <> expected then
+    Alcotest.failf "%s: expected [%s], got [%s]" file (show expected)
+      (show got)
+
+(* --- rule 1: shared-state inventory ---------------------------------- *)
+
+let test_unguarded () =
+  check_firing ~file:"fix_unguarded.ml"
+    [
+      (6, 2, "unguarded-state");  (* mutable field cache.hits *)
+      (7, 2, "unguarded-state");  (* array field cache.slots *)
+      (11, 4, "unguarded-state");  (* module-level ref total *)
+      (13, 4, "unguarded-state");  (* module-level table, through a
+                                      type constraint *)
+    ]
+
+let test_inventory_guards () =
+  (* The annotated declarations appear in the inventory WITH their
+     guards — suppressed from findings, not from the inventory. *)
+  let inv = (Lazy.force result).Analyze_rules.inventory in
+  let guard_of name =
+    match
+      List.find_opt
+        (fun (i : Analyze_rules.inv_entry) ->
+          String.equal i.inv_name name
+          && String.equal (Filename.basename i.inv_file) "fix_unguarded.ml")
+        inv
+    with
+    | Some i -> i.inv_guard
+    | None -> Alcotest.failf "no inventory entry for %s" name
+  in
+  Alcotest.(check (option string))
+    "cache.misses" (Some "guarded_by lock") (guard_of "cache.misses");
+  Alcotest.(check (option string))
+    "scratch" (Some "single_domain") (guard_of "scratch");
+  Alcotest.(check (option string)) "total" None (guard_of "total")
+
+(* --- rule 2: lock-release discipline ---------------------------------- *)
+
+let test_lock_discipline () =
+  check_firing ~file:"fix_lock_leak.ml"
+    [
+      (11, 2, "lock-divergent");  (* leak: branches disagree *)
+      (11, 5, "lock-leak");  (* leak: held at exit *)
+      (16, 19, "lock-raise");  (* raise_locked: failwith while locked *)
+      (29, 2, "lock-divergent");  (* mutex_leak: one path unlocks *)
+    ]
+
+(* --- rule 3: yield-point coverage ------------------------------------- *)
+
+let test_yield_points () =
+  check_firing ~file:"fix_spin.ml"
+    [
+      (4, 8, "yield-point");  (* spin_cas retry function *)
+      (10, 2, "yield-point");  (* busy_wait while loop *)
+    ]
+
+(* --- rule 4: atomic RMW hygiene --------------------------------------- *)
+
+let test_atomic_rmw () =
+  check_firing ~file:"fix_rmw.ml" [ (4, 30, "atomic-rmw") ]
+
+(* --- clean fixture ----------------------------------------------------- *)
+
+let test_clean () = check_firing ~file:"fix_clean.ml" []
+
+(* --- baseline ---------------------------------------------------------- *)
+
+let test_baseline () =
+  let findings = (Lazy.force result).Analyze_rules.findings in
+  let rmw =
+    match
+      List.find_opt
+        (fun (f : Analyze_rules.finding) ->
+          String.equal f.diag.Report.rule "atomic-rmw")
+        findings
+    with
+    | Some f -> f
+    | None -> Alcotest.fail "no atomic-rmw finding to baseline"
+  in
+  let baseline =
+    Analyze_rules.parse_baseline
+      ("# comment\n\n" ^ Analyze_rules.finding_key rmw ^ "\nstale entry x\n")
+  in
+  let remaining, suppressed, unused =
+    Analyze_rules.apply_baseline ~baseline findings
+  in
+  Alcotest.(check int) "suppressed" 1 suppressed;
+  Alcotest.(check int)
+    "remaining" (List.length findings - 1) (List.length remaining);
+  Alcotest.(check (list string)) "unused" [ "stale entry x" ] unused;
+  if
+    List.exists
+      (fun (f : Analyze_rules.finding) ->
+        String.equal f.diag.Report.rule "atomic-rmw"
+        && String.equal
+             (Filename.basename f.diag.Report.file)
+             "fix_rmw.ml")
+      remaining
+  then Alcotest.fail "baselined finding still reported"
+
+let () =
+  Alcotest.run "analyze"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "rule 1: unguarded shared state" `Quick
+            test_unguarded;
+          Alcotest.test_case "rule 1: inventory carries guards" `Quick
+            test_inventory_guards;
+          Alcotest.test_case "rule 2: lock-release discipline" `Quick
+            test_lock_discipline;
+          Alcotest.test_case "rule 3: yield-point coverage" `Quick
+            test_yield_points;
+          Alcotest.test_case "rule 4: atomic RMW hygiene" `Quick
+            test_atomic_rmw;
+          Alcotest.test_case "clean fixture is silent" `Quick test_clean;
+        ] );
+      ( "baseline",
+        [ Alcotest.test_case "suppress and stale entries" `Quick test_baseline ]
+      );
+    ]

@@ -1,0 +1,53 @@
+(** ei_race rules engine: typed concurrency-discipline analysis over
+    the [.cmt] typedtrees dune produces.
+
+    Rule families: [unguarded-state] / [unguarded-access] (every
+    module-level and record-level mutable datum must be atomic,
+    lock-guarded — [@ei.guarded_by "<lock>"] — or confined —
+    [@ei.single_domain]), [lock-leak] / [lock-divergent] /
+    [lock-raise] / [lock-loop] (every acquired write lock is released
+    exactly once on every exit, including exception edges),
+    [yield-point] (sync-touching retry loops must contain a
+    [Fault.point] site so the ei_sim scheduler can interleave them),
+    and [atomic-rmw] ([Atomic.set a (f (Atomic.get a))] outside a
+    lock-held region).  Findings carry a stable [slug] (the enclosing
+    top-level binding) used as the baseline suppression key. *)
+
+type finding = { diag : Report.diag; slug : string }
+
+type inv_entry = {
+  inv_file : string;
+  inv_line : int;
+  inv_name : string;
+  inv_kind : string;
+      (** atomic | mutex | condition | ref | array | table |
+          mutable-field | array-field *)
+  inv_guard : string option;  (** rendered annotation, [None] = bare *)
+}
+
+type result = { findings : finding list; inventory : inv_entry list }
+
+val load_cmt : string -> (string * Typedtree.structure) option
+(** Read one [.cmt]; [Some (source_path, typedtree)] for an
+    implementation, [None] for interfaces, generated alias modules and
+    unreadable files. *)
+
+val analyze_cmts : string list -> result
+(** Load every [.cmt] path, build the cross-module annotation registry,
+    and run all rule families over each implementation, in source-path
+    order. *)
+
+val finding_key : finding -> string
+(** The baseline key: ["rule file slug"] — stable across line-number
+    churn. *)
+
+val parse_baseline : string -> string list
+(** Baseline file contents -> entry keys ([#] comments and blank lines
+    dropped). *)
+
+val apply_baseline :
+  baseline:string list -> finding list -> finding list * int * string list
+(** [(remaining, suppressed_count, unused_entries)]. *)
+
+val rules_help : unit -> string
+(** One line per rule, for [--rules]. *)

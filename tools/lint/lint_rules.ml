@@ -20,20 +20,18 @@
 
 open Parsetree
 
-type diag = { file : string; line : int; col : int; rule : string; msg : string }
+(* The diagnostic type is shared with ei_race through {!Report} so both
+   tools print and serialise findings identically. *)
+type diag = Report.diag = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+}
 
-let compare_diag a b =
-  let c = String.compare a.file b.file in
-  if c <> 0 then c
-  else
-    let c = Int.compare a.line b.line in
-    if c <> 0 then c
-    else
-      let c = Int.compare a.col b.col in
-      if c <> 0 then c else String.compare a.rule b.rule
-
-let pp_diag ppf d =
-  Format.fprintf ppf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.msg
+let compare_diag = Report.compare_diag
+let pp_diag = Report.pp_diag
 
 (* ------------------------------------------------------------------ *)
 (* Scopes and tables.                                                  *)
@@ -54,9 +52,14 @@ let in_dir d file =
   scan 0
 
 let in_hot_path file = List.exists (fun d -> in_dir d file) hot_dirs
+let in_lib file = in_dir "lib/" file
+
+(* Harness code (drivers, measurement loops) compares keys and latencies
+   just as hotly as the libraries do. *)
+let in_harness file = in_dir "bench/" file || in_dir "tools/" file
 
 (* Library code owns no std stream; the obs exposition layer does. *)
-let in_quiet_lib file = in_dir "lib/" file && not (in_dir "lib/obs/" file)
+let in_quiet_lib file = in_lib file && not (in_dir "lib/obs/" file)
 
 (* Per-file, per-rule suppressions.  Deliberately empty: genuine
    findings get fixed, not allowlisted.  Entries are
@@ -193,7 +196,7 @@ let rule_poly_compare =
     short =
       "hot-path comparisons must be monomorphic (Key.compare, \
        String.compare, Int.equal, or evidently-int operands)";
-    applies = in_hot_path;
+    applies = (fun file -> in_hot_path file || in_harness file);
     check =
       (fun ~emit env e ->
         match e.pexp_desc with
@@ -237,7 +240,7 @@ let rule_hashtbl =
     short =
       "Hashtbl.hash folds a bounded key prefix and the default Hashtbl is \
        keyed on it; use Ei_util.Fnv / Ei_util.Strtbl for string keys";
-    applies = everywhere;
+    applies = in_lib;
     check =
       (fun ~emit _env e ->
         match e.pexp_desc with
@@ -274,7 +277,7 @@ let rule_no_abort =
     short =
       "library code must not abort anonymously: raise Ei_util.Invariant \
        (Broken/impossible) instead of failwith / assert false";
-    applies = everywhere;
+    applies = in_lib;
     check =
       (fun ~emit _env e ->
         match e.pexp_desc with

@@ -11,7 +11,7 @@
     predicate; adding a rule is adding one entry to the internal
     table. *)
 
-type diag = {
+type diag = Report.diag = {
   file : string;
   line : int;
   col : int;
@@ -32,8 +32,16 @@ val check_mli_coverage : ml_files:(string * string) list -> diag list
     without a sibling [.mli]. *)
 
 val in_hot_path : string -> bool
-(** Whether a display path falls under a hot-path directory (the
-    [poly-compare] scope). *)
+(** Whether a display path falls under a hot-path directory (part of
+    the [poly-compare] scope). *)
+
+val in_lib : string -> bool
+(** Whether a display path falls under [lib/] (the [hashtbl] /
+    [no-abort] / [mli-coverage] scope). *)
+
+val in_harness : string -> bool
+(** Whether a display path falls under [bench/] or [tools/] (also in
+    the [poly-compare] scope: measurement loops compare hotly too). *)
 
 val in_quiet_lib : string -> bool
 (** Whether a display path falls under [lib/] but outside [lib/obs/]
