@@ -725,8 +725,9 @@ let sim_cmd =
   let scenario_arg =
     Arg.(value & opt string "olc-race"
          & info [ "scenario" ] ~docv:"NAME"
-             ~doc:"Scheduler scenario (sched): olc-race, olc-convert-scan \
-                   or lost-update (the planted-race self-test).")
+             ~doc:"Scheduler scenario (sched): olc-race, olc-convert-scan, \
+                   olc-multi-find or lost-update (the planted-race \
+                   self-test).")
   in
   let rounds_arg =
     Arg.(value & opt int 50

@@ -191,6 +191,7 @@ let split_leaf t leaf (spec : Policy.leaf_spec) =
     | Leaf.Std l, Policy.Spec_std -> Leaf.Std (Std_leaf.split l)
     | Leaf.Pre l, Policy.Spec_pre -> Leaf.Pre (Prefix_leaf.split l)
     | Leaf.Bw l, Policy.Spec_bw -> Leaf.Bw (Bw_leaf.split l)
+    | Leaf.Gap l, Policy.Spec_gap -> Leaf.Gap (Gapped_leaf.split l)
     | Leaf.Seq l, Policy.Spec_seq c when Ei_blindi.Seqtree.capacity l = c ->
       let left, right = Ei_blindi.Seqtree.split l ~left_capacity:c ~right_capacity:c in
       leaf.Leaf.repr <- Leaf.Seq left;
@@ -379,6 +380,49 @@ let find t key =
 
 let mem t key = Option.is_some (find t key)
 
+(* Batched lookup: walk up to [group] keys through the tree in
+   lockstep (see {!Interleave}), prefetching each cursor's next node a
+   round ahead of its use so the per-level misses of a batch overlap.
+   Result slot [i] is exactly [find t keys.(i)].
+
+   Expansion-state splits requested by searches that land on compact
+   leaves are deferred to the end of the batch: a split never changes
+   lookup results, and replaying them afterwards keeps mid-batch
+   structure mutations away from the other in-flight cursors. *)
+let multi_find ?(group = 8) t keys =
+  let nkeys = Array.length keys in
+  let out = Array.make nkeys None in
+  let splits = ref [] in
+  let base = ref 0 in
+  while !base < nkeys do
+    let n = min group (nkeys - !base) in
+    let first = !base in
+    Interleave.run ~n
+      ~start:(fun _ -> t.root)
+      ~step:(fun i node ->
+        let key = keys.(first + i) in
+        match node with
+        | Inner nd ->
+          let child = nd.children.(child_index nd key) in
+          Ei_util.Prefetch.prefetch child;
+          Interleave.Continue child
+        | Leaf_node leaf ->
+          leaf.Leaf.hits <- leaf.Leaf.hits + 1;
+          out.(first + i) <- Leaf.find leaf ~load:t.load key;
+          (if Leaf.is_compact leaf then
+             match
+               t.policy.Policy.on_search_compact (view t)
+                 ~current:(Leaf.spec leaf)
+             with
+             | Some spec -> splits := (key, spec) :: !splits
+             | None -> ());
+          Interleave.Done)
+      ();
+    base := first + n
+  done;
+  List.iter (fun (key, spec) -> force_split_leaf t key spec) (List.rev !splits);
+  out
+
 (* In-place value update of an existing key; false if absent. *)
 let update t key tid =
   let leaf = find_leaf t t.root key in
@@ -531,6 +575,8 @@ let merge_leaf_children t nd i left right =
     Prefix_leaf.absorb a b
   | Leaf.Bw a, Leaf.Bw b, Policy.Spec_bw when Bw_leaf.capacity a >= total ->
     Bw_leaf.absorb a b
+  | Leaf.Gap a, Leaf.Gap b, Policy.Spec_gap when Gapped_leaf.capacity a >= total ->
+    Gapped_leaf.absorb a b
   | Leaf.Seq a, Leaf.Seq b, Policy.Spec_seq c ->
     left.Leaf.repr <-
       Leaf.Seq

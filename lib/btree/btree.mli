@@ -58,6 +58,14 @@ val find : t -> string -> int option
 
 val mem : t -> string -> bool
 
+val multi_find : ?group:int -> t -> string array -> int option array
+(** Batched point lookup: slot [i] of the result is [find t keys.(i)].
+    Keys are walked through the tree in lockstep groups of [group]
+    (default 8) with software prefetch a round ahead of each descent
+    step, so the per-level cache misses of a group overlap
+    ({!Interleave}).  Expansion-state splits triggered by searches are
+    replayed after the batch; results are unaffected. *)
+
 val fold_range : t -> start:string -> n:int -> ('a -> string -> int -> 'a) -> 'a -> 'a
 (** [fold_range t ~start ~n f acc] folds over up to [n] entries with
     keys [>= start] in ascending order.  Compact leaves load each key

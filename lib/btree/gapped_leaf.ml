@@ -1,0 +1,320 @@
+(* Gapped (slotted) B+-tree leaf, BS-tree style.
+
+   A standard leaf keeps its entries packed, so every out-of-order
+   insert pays an [Array.blit] of the tail and every remove pays one
+   back.  Here the key/tid arrays always span the full capacity and an
+   occupancy map marks which slots are live; [of_sorted] distributes
+   the entries evenly so the gaps land between them.  An insert then
+   usually just fills the gap the search already found, a remove only
+   clears an occupancy bit, and only an insert into an exhausted
+   neighbourhood shifts — and then merely up to the nearest gap.
+
+   Searches stay binary and branchless over the *slot order*: every
+   slot in the used prefix [0, hi_slot) carries a key — a gap holds a
+   copy of a neighbouring key — kept non-decreasing, with the live
+   keys strictly increasing.  The search loop therefore never consults
+   the occupancy map; only the final hop from the landing slot to the
+   next live slot does.
+
+   Invariants (checked by [check_invariants]):
+   - live slots all lie in [0, hi_slot) and [hi_slot] is tight (slot
+     [hi_slot - 1] is live when the leaf is non-empty);
+   - [keys] is non-decreasing over [0, hi_slot) and strictly
+     increasing over the live slots;
+   - slots at and above [hi_slot] are virgin: not live, key [""]. *)
+
+module Key = Ei_util.Key
+
+type t = {
+  key_len : int;
+  capacity : int;
+  mutable n : int;  (* live slots *)
+  mutable hi_slot : int;  (* used prefix: slots >= hi_slot are virgin *)
+  keys : string array;
+  tids : int array;
+  occ : bool array;
+}
+
+let create ~key_len ~capacity () =
+  assert (capacity >= 2);
+  {
+    key_len;
+    capacity;
+    n = 0;
+    hi_slot = 0;
+    keys = Array.make capacity "";
+    tids = Array.make capacity 0;
+    occ = Array.make capacity false;
+  }
+
+let count t = t.n
+let capacity t = t.capacity
+let is_full t = t.n >= t.capacity
+
+let memory_bytes t =
+  Ei_storage.Memmodel.gapped_leaf_bytes ~capacity:t.capacity
+    ~key_len:t.key_len
+
+(* Leftmost slot of the used prefix whose key is >= [key]; [hi_slot]
+   if every used slot sorts below.  No occupancy branch in the loop. *)
+let slot_lower_bound t key =
+  let lo = ref 0 and hi = ref t.hi_slot in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Key.compare_fast t.keys.(mid) key < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+(* First live slot at or after [s] (within the used prefix);
+   [hi_slot] if none.  Gap runs are short by construction. *)
+let next_live t s =
+  let i = ref s in
+  while !i < t.hi_slot && not t.occ.(!i) do
+    incr i
+  done;
+  !i
+
+(* The slot holding [key], or [hi_slot] sentinel when absent: the
+   first live slot at or after the lower bound holds the smallest
+   live key >= [key] (slots below the lower bound all sort below). *)
+let locate_slot t key =
+  let j = next_live t (slot_lower_bound t key) in
+  if j < t.hi_slot && Key.equal t.keys.(j) key then j else t.hi_slot
+
+let find t key =
+  let j = locate_slot t key in
+  if j < t.hi_slot then Some t.tids.(j) else None
+
+let update t key tid =
+  let j = locate_slot t key in
+  if j < t.hi_slot then begin
+    t.tids.(j) <- tid;
+    true
+  end
+  else false
+
+let place t s key tid =
+  t.keys.(s) <- key;
+  t.tids.(s) <- tid;
+  t.occ.(s) <- true;
+  t.n <- t.n + 1
+
+(* Nearest gap strictly below [s]; -1 if the prefix below is solid. *)
+let prev_gap t s =
+  let i = ref (s - 1) in
+  while !i >= 0 && t.occ.(!i) do
+    decr i
+  done;
+  !i
+
+(* Nearest free slot strictly above [s]: a gap in the used prefix, or
+   the first virgin slot; [capacity] if the suffix is solid. *)
+let next_free t s =
+  let i = ref (s + 1) in
+  while !i < t.hi_slot && t.occ.(!i) do
+    incr i
+  done;
+  if !i >= t.hi_slot && t.hi_slot >= t.capacity then t.capacity else !i
+
+let insert t key tid =
+  let lb = slot_lower_bound t key in
+  let j = next_live t lb in
+  if j < t.hi_slot && Key.equal t.keys.(j) key then Std_leaf.Duplicate
+  else if t.n >= t.capacity then Std_leaf.Full
+  else begin
+    (if lb < t.hi_slot && not t.occ.(lb) then
+       (* The landing slot is a gap: its stale key is >= [key] and its
+          left neighbour sorts below, so overwriting keeps the slot
+          order sorted.  The common case — no data moves. *)
+       place t lb key tid
+     else if lb = t.hi_slot then
+       if t.hi_slot < t.capacity then begin
+         (* Append into virgin territory. *)
+         place t t.hi_slot key tid;
+         t.hi_slot <- t.hi_slot + 1
+       end
+       else begin
+         (* Used prefix exhausted: free the last slot by sliding the
+            run below it down onto its nearest gap. *)
+         let g = prev_gap t t.capacity in
+         for i = g to t.capacity - 2 do
+           t.keys.(i) <- t.keys.(i + 1);
+           t.tids.(i) <- t.tids.(i + 1)
+         done;
+         t.occ.(g) <- true;
+         t.keys.(t.capacity - 1) <- key;
+         t.tids.(t.capacity - 1) <- tid;
+         t.n <- t.n + 1
+       end
+     else begin
+       (* Slot [lb] is live with a larger key: open a slot by shifting
+          the shorter side's run one step onto its nearest free slot. *)
+       let gl = prev_gap t lb in
+       let gr = next_free t lb in
+       if gl >= 0 && (gr >= t.capacity || lb - gl <= gr - lb) then begin
+         (* Slide [gl+1, lb-1] down one; slot [lb-1] takes the key. *)
+         for i = gl to lb - 2 do
+           t.keys.(i) <- t.keys.(i + 1);
+           t.tids.(i) <- t.tids.(i + 1)
+         done;
+         t.occ.(gl) <- true;
+         t.keys.(lb - 1) <- key;
+         t.tids.(lb - 1) <- tid;
+         t.n <- t.n + 1
+       end
+       else begin
+         (* Slide [lb, gr-1] up one; slot [lb] takes the key. *)
+         for i = gr downto lb + 1 do
+           t.keys.(i) <- t.keys.(i - 1);
+           t.tids.(i) <- t.tids.(i - 1)
+         done;
+         t.occ.(gr) <- true;
+         if gr >= t.hi_slot then t.hi_slot <- gr + 1;
+         t.keys.(lb) <- key;
+         t.tids.(lb) <- tid;
+         t.n <- t.n + 1
+       end
+     end);
+    Std_leaf.Inserted
+  end
+
+let remove t key =
+  let j = locate_slot t key in
+  if j >= t.hi_slot then Std_leaf.Not_present
+  else begin
+    t.occ.(j) <- false;
+    t.n <- t.n - 1;
+    (* Keep [hi_slot] tight so stale maxima never shadow appends. *)
+    while t.hi_slot > 0 && not t.occ.(t.hi_slot - 1) do
+      t.hi_slot <- t.hi_slot - 1;
+      t.keys.(t.hi_slot) <- ""
+    done;
+    Std_leaf.Removed
+  end
+
+(* Lay [n] sorted entries out with evenly distributed gaps (slot of
+   entry [i] is [i * capacity / n]; entry 0 lands on slot 0, so there
+   are no leading gaps) and fill each gap with its left neighbour's
+   key so the slot order stays sorted. *)
+let fill_distributed t keys tids n =
+  assert (n <= t.capacity);
+  if n = 0 then ()
+  else begin
+    for i = 0 to n - 1 do
+      let s = i * t.capacity / n in
+      t.keys.(s) <- keys.(i);
+      t.tids.(s) <- tids.(i);
+      t.occ.(s) <- true
+    done;
+    t.hi_slot <- (((n - 1) * t.capacity / n) + 1);
+    let last = ref t.keys.(0) in
+    for s = 0 to t.hi_slot - 1 do
+      if t.occ.(s) then last := t.keys.(s) else t.keys.(s) <- !last
+    done;
+    t.n <- n
+  end
+
+let of_sorted ~key_len ~capacity keys tids (n : int) =
+  let t = create ~key_len ~capacity () in
+  fill_distributed t keys tids n;
+  t
+
+(* Live entries, packed. *)
+let packed t =
+  let keys = Array.make t.n "" and tids = Array.make t.n 0 in
+  let p = ref 0 in
+  for s = 0 to t.hi_slot - 1 do
+    if t.occ.(s) then begin
+      keys.(!p) <- t.keys.(s);
+      tids.(!p) <- t.tids.(s);
+      incr p
+    end
+  done;
+  assert (!p = t.n);
+  (keys, tids)
+
+let reset t =
+  Array.fill t.keys 0 t.capacity "";
+  Array.fill t.occ 0 t.capacity false;
+  t.n <- 0;
+  t.hi_slot <- 0
+
+let split t =
+  let keys, tids = packed t in
+  let n = Array.length keys in
+  let m = n / 2 in
+  let right =
+    of_sorted ~key_len:t.key_len ~capacity:t.capacity
+      (Array.sub keys m (n - m))
+      (Array.sub tids m (n - m))
+      (n - m)
+  in
+  reset t;
+  fill_distributed t keys tids m;
+  right
+
+(* Redistribute both leaves' entries into [a]; caller guarantees order
+   and room, as for {!Std_leaf.absorb}. *)
+let absorb a b =
+  assert (a.n + b.n <= a.capacity);
+  let ka, ta = packed a and kb, tb = packed b in
+  let keys = Array.append ka kb and tids = Array.append ta tb in
+  reset a;
+  fill_distributed a keys tids (Array.length keys)
+
+(* Key-order addressing: position [i] is the [i]-th live slot. *)
+let slot_of_pos t i =
+  let s = ref 0 and left = ref i in
+  while !left > 0 || not t.occ.(!s) do
+    if t.occ.(!s) then decr left;
+    incr s
+  done;
+  !s
+
+let key_at t i = t.keys.(slot_of_pos t i)
+let tid_at t i = t.tids.(slot_of_pos t i)
+
+let fold_from t pos f acc =
+  let acc = ref acc in
+  let skip = ref (max 0 pos) in
+  for s = 0 to t.hi_slot - 1 do
+    if t.occ.(s) then
+      if !skip > 0 then decr skip else acc := f !acc t.keys.(s) t.tids.(s)
+  done;
+  !acc
+
+(* Key-order position of the first live entry >= [key] (i.e. the
+   number of live entries sorting below), as for
+   {!Std_leaf.lower_bound}. *)
+let lower_bound t key =
+  let j = next_live t (slot_lower_bound t key) in
+  let c = ref 0 in
+  for s = 0 to j - 1 do
+    if t.occ.(s) then incr c
+  done;
+  !c
+
+let check_invariants t =
+  assert (t.n >= 0 && t.n <= t.capacity);
+  assert (t.hi_slot >= 0 && t.hi_slot <= t.capacity);
+  let live = ref 0 in
+  Array.iter (fun o -> if o then incr live) t.occ;
+  assert (!live = t.n);
+  if t.n > 0 then assert (t.occ.(t.hi_slot - 1));
+  for s = t.hi_slot to t.capacity - 1 do
+    assert (not t.occ.(s));
+    assert (String.length t.keys.(s) = 0)
+  done;
+  for s = 0 to t.hi_slot - 2 do
+    assert (Key.compare t.keys.(s) t.keys.(s + 1) <= 0)
+  done;
+  let prev = ref None in
+  for s = 0 to t.hi_slot - 1 do
+    if t.occ.(s) then begin
+      (match !prev with
+      | Some p -> assert (Key.compare p t.keys.(s) < 0)
+      | None -> ());
+      prev := Some t.keys.(s)
+    end
+  done

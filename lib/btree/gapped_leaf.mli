@@ -1,0 +1,43 @@
+(** Gapped (slotted) B+-tree leaf, BS-tree style: full-capacity key and
+    tuple-id arrays with an occupancy map and evenly distributed gaps,
+    so inserts usually fill a slot the search already found instead of
+    shifting the packed tail, and removes just clear a bit.
+
+    Searches are binary over the slot order — every used slot carries a
+    key (gaps hold a copy of a neighbour's key), kept non-decreasing —
+    so the search loop never branches on occupancy.
+
+    Result types are shared with {!Std_leaf}; positions in the
+    positional accessors ([key_at], [fold_from], [lower_bound]) are in
+    key order over the live entries, exactly as for a packed leaf. *)
+
+type t
+
+val create : key_len:int -> capacity:int -> unit -> t
+
+val of_sorted :
+  key_len:int -> capacity:int -> string array -> int array -> int -> t
+(** Lay out sorted entries with evenly distributed gaps. *)
+
+val count : t -> int
+val capacity : t -> int
+val is_full : t -> bool
+val key_at : t -> int -> string
+val tid_at : t -> int -> int
+val memory_bytes : t -> int
+
+val find : t -> string -> int option
+val update : t -> string -> int -> bool
+val insert : t -> string -> int -> Std_leaf.insert_result
+val remove : t -> string -> Std_leaf.remove_result
+
+val split : t -> t
+(** Keep the first half (redistributed) in place; return the second. *)
+
+val absorb : t -> t -> unit
+(** Redistribute both leaves' entries into the first (which must sort
+    below); caller guarantees room. *)
+
+val fold_from : t -> int -> ('a -> string -> int -> 'a) -> 'a -> 'a
+val lower_bound : t -> string -> int
+val check_invariants : t -> unit

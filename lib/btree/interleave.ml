@@ -1,0 +1,49 @@
+(* Group-descent engine: walk K independent cursors through a pointer
+   chase in lockstep.
+
+   A single tree descent serialises one cache miss per level: the next
+   node's address is only known once the current node has arrived.
+   Across *independent* lookups there is no such dependence, so the
+   engine advances each live cursor by exactly one step per round,
+   round-robin.  By the time cursor [i] is stepped again a full round
+   has passed, which is the window in which its prefetched next node
+   (the step functions issue {!Ei_util.Prefetch.prefetch} hints) — or,
+   without the hint, the hand-interleaved out-of-order loads — can
+   overlap with the other cursors' fetches.
+
+   The engine is oblivious to what a cursor is; optimistic-concurrency
+   callers pass [retry] to classify validation failures: a step that
+   raises a retried exception resets *that cursor only* back to
+   [start] (the next round re-acquires its root), so one conflicting
+   writer never restarts the whole batch.  [yield] runs once per
+   lockstep round — the hook for a deterministic-simulation scheduler
+   to interleave writers between rounds. *)
+
+type 'c progress = Continue of 'c | Done
+
+type 'c state = Fresh | Cursor of 'c | Finished
+
+let run ?(yield = fun () -> ()) ?(retry = fun (_ : exn) -> false) ~n ~start
+    ~step () =
+  if n > 0 then begin
+    let st = Array.make n Fresh in
+    let pending = ref n in
+    while !pending > 0 do
+      yield ();
+      for i = 0 to n - 1 do
+        match st.(i) with
+        | Finished -> ()
+        | Fresh -> (
+          match start i with
+          | c -> st.(i) <- Cursor c
+          | exception e when retry e -> () (* re-acquire next round *))
+        | Cursor c -> (
+          match step i c with
+          | Continue c' -> st.(i) <- Cursor c'
+          | Done ->
+            st.(i) <- Finished;
+            decr pending
+          | exception e when retry e -> st.(i) <- Fresh)
+      done
+    done
+  end

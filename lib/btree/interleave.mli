@@ -1,0 +1,23 @@
+(** Group-descent engine: advance K independent cursors through a
+    pointer chase in lockstep, one step per cursor per round, so their
+    node fetches (and the step functions' software prefetches) overlap
+    instead of serialising. *)
+
+type 'c progress = Continue of 'c | Done
+
+val run :
+  ?yield:(unit -> unit) ->
+  ?retry:(exn -> bool) ->
+  n:int ->
+  start:(int -> 'c) ->
+  step:(int -> 'c -> 'c progress) ->
+  unit ->
+  unit
+(** [run ~n ~start ~step ()] drives cursors [0 .. n-1] round-robin:
+    each round calls [yield] once, then advances every unfinished
+    cursor by one [step].  A cursor begins with [start i] and finishes
+    when [step] returns [Done].  An exception for which [retry]
+    returns [true] — an optimistic-concurrency validation failure —
+    resets that cursor alone back to [start]; other exceptions
+    propagate.  [yield] defaults to nothing; [retry] defaults to
+    retrying nothing. *)

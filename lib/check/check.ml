@@ -284,7 +284,8 @@ let check_btree_ctx ?(strict = false) ctx (tree : Btree.t) =
             (if strict then Error else Advisory)
             "leaf %d: compact capacity %d holds %d keys (< %d)" i cap count
             ((cap / 2) + 1)
-      | Leaf.Std _ | Leaf.Sub _ | Leaf.Pre _ | Leaf.Str _ | Leaf.Bw _ -> ())
+      | Leaf.Std _ | Leaf.Sub _ | Leaf.Pre _ | Leaf.Str _ | Leaf.Bw _
+      | Leaf.Gap _ -> ())
     it.Btree.leaves;
   (* O(1) counters vs recomputation. *)
   if !item_sum <> it.Btree.items then
@@ -327,7 +328,7 @@ let check_elastic_ctx ?strict ctx (tree : Elastic_btree.t) =
                i c initial std max_cap
          | Policy.Spec_std -> ()
          | Policy.Spec_sub _ | Policy.Spec_pre | Policy.Spec_str _
-         | Policy.Spec_bw ->
+         | Policy.Spec_bw | Policy.Spec_gap ->
            fail ctx "elasticity" "leaf %d: foreign representation %s" i
              (Format.asprintf "%a" Policy.pp_spec spec));
          i + 1)

@@ -217,12 +217,13 @@ let on_overflow t view ~current =
   | Policy.Spec_pre, _ -> Policy.Split Policy.Spec_pre
   | Policy.Spec_str c, _ -> Policy.Split (Policy.Spec_str c)
   | Policy.Spec_bw, _ -> Policy.Split Policy.Spec_bw
+  | Policy.Spec_gap, _ -> Policy.Split Policy.Spec_gap
 
 let on_underflow t view ~current ~count:_ =
   update t view;
   match current with
   | Policy.Spec_std | Policy.Spec_sub _ | Policy.Spec_pre | Policy.Spec_str _
-  | Policy.Spec_bw ->
+  | Policy.Spec_bw | Policy.Spec_gap ->
     Policy.Rebalance
   | Policy.Spec_seq c ->
     let k = c / 2 in
@@ -273,7 +274,8 @@ let on_merge t view ~total ~left ~right =
 
 let underflow_at _t spec ~std_capacity ~count =
   match spec with
-  | Policy.Spec_std | Policy.Spec_sub _ | Policy.Spec_pre | Policy.Spec_bw ->
+  | Policy.Spec_std | Policy.Spec_sub _ | Policy.Spec_pre | Policy.Spec_bw
+  | Policy.Spec_gap ->
     count < std_capacity / 2
   | Policy.Spec_str c -> count < c / 2
   | Policy.Spec_seq c ->

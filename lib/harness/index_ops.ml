@@ -24,6 +24,10 @@ and t = {
   remove : string -> bool;
   update : string -> int -> bool;  (* in-place value overwrite *)
   find : string -> int option;
+  multi_find : string array -> int option array;
+  (* batched point lookup: slot [i] is [find keys.(i)].  Backends with a
+     native group-descent path (B+-tree, OLC) overlap the per-level node
+     fetches of a batch; the rest fall back to a [find] loop. *)
   scan : string -> int -> int;
   (* [scan start n] visits up to [n] entries with key >= start and
      returns how many were visited; visiting materialises each key (the
@@ -40,6 +44,9 @@ and t = {
 }
 
 let no_size_bound (_ : int) = ()
+
+(* Fallback batched lookup for backends without a group-descent path. *)
+let multi_of_find find keys = Array.map find keys
 
 (* Transient operation failure, injected in front of any index: each
    point operation first draws at the site and raises [Fault.Injected]
@@ -69,6 +76,18 @@ let inject ~site (ix : t) =
       (fun k ->
         Fault.inject site;
         ix.find k);
+    multi_find =
+      (* a batch is a sequence of point lookups, so each key draws —
+         matching the per-op granularity callers retry at.  A fault
+         aborts the rest of the batch; the grouped descent is skipped
+         because partial batches under injection are exactly what the
+         per-op fallback paths exist to handle. *)
+      (fun keys ->
+        Array.map
+          (fun k ->
+            Fault.inject site;
+            ix.find k)
+          keys);
   }
 
 (* Per-operation latency observation, mirroring [inject]: the closures
@@ -84,6 +103,7 @@ let observed ~prefix (ix : t) =
   and h_remove = h "remove"
   and h_update = h "update"
   and h_find = h "find"
+  and h_multi = h "multi_find"
   and h_scan = h "scan" in
   let timed h f =
     if Metrics.enabled () then begin
@@ -100,6 +120,7 @@ let observed ~prefix (ix : t) =
     remove = (fun k -> timed h_remove (fun () -> ix.remove k));
     update = (fun k tid -> timed h_update (fun () -> ix.update k tid));
     find = (fun k -> timed h_find (fun () -> ix.find k));
+    multi_find = (fun keys -> timed h_multi (fun () -> ix.multi_find keys));
     scan = (fun start n -> timed h_scan (fun () -> ix.scan start n));
   }
 
@@ -133,6 +154,7 @@ let of_btree name (tree : Ei_btree.Btree.t) =
     remove = Ei_btree.Btree.remove tree;
     update = Ei_btree.Btree.update tree;
     find = Ei_btree.Btree.find tree;
+    multi_find = Ei_btree.Btree.multi_find tree;
     scan =
       (fun start n ->
         Ei_btree.Btree.fold_range tree ~start ~n
@@ -162,6 +184,10 @@ let of_elastic name (tree : Ei_core.Elastic_btree.t) =
     remove = Ei_core.Elastic_btree.remove tree;
     update = Ei_core.Elastic_btree.update tree;
     find = Ei_core.Elastic_btree.find tree;
+    multi_find =
+      (* the elastic wrapper delegates point ops to the inner tree, so
+         group descent over it is the same lookup the [find] above runs *)
+      Ei_btree.Btree.multi_find (Ei_core.Elastic_btree.tree tree);
     scan =
       (fun start n ->
         Ei_core.Elastic_btree.fold_range tree ~start ~n
@@ -193,6 +219,7 @@ let of_radix name (tree : Ei_baselines.Radix.t) =
     remove = Ei_baselines.Radix.remove tree;
     update = Ei_baselines.Radix.update tree;
     find = Ei_baselines.Radix.find tree;
+    multi_find = multi_of_find (Ei_baselines.Radix.find tree);
     scan =
       (fun start n ->
         Ei_baselines.Radix.fold_range tree ~start ~n
@@ -222,6 +249,7 @@ let of_elastic_skiplist name (tree : Ei_core.Elastic_skiplist.t) =
     remove = Ei_core.Elastic_skiplist.remove tree;
     update = Ei_core.Elastic_skiplist.update_value tree;
     find = Ei_core.Elastic_skiplist.find tree;
+    multi_find = multi_of_find (Ei_core.Elastic_skiplist.find tree);
     scan =
       (fun start n ->
         Ei_core.Elastic_skiplist.fold_range tree ~start ~n
@@ -253,6 +281,7 @@ let of_hybrid name (tree : Ei_baselines.Hybrid.t) =
     remove = Ei_baselines.Hybrid.remove tree;
     update = Ei_baselines.Hybrid.update tree;
     find = Ei_baselines.Hybrid.find tree;
+    multi_find = multi_of_find (Ei_baselines.Hybrid.find tree);
     scan =
       (fun start n ->
         Ei_baselines.Hybrid.fold_range tree ~start ~n
@@ -285,6 +314,7 @@ let of_skiplist name (tree : Ei_baselines.Skiplist.t) =
     remove = Ei_baselines.Skiplist.remove tree;
     update = Ei_baselines.Skiplist.update tree;
     find = Ei_baselines.Skiplist.find tree;
+    multi_find = multi_of_find (Ei_baselines.Skiplist.find tree);
     scan =
       (fun start n ->
         Ei_baselines.Skiplist.fold_range tree ~start ~n
@@ -316,6 +346,7 @@ let of_olc name (tree : Ei_olc.Btree_olc.t) =
     remove = Olc.remove tree;
     update = Olc.update tree;
     find = Olc.find tree;
+    multi_find = Olc.multi_find tree;
     scan =
       (fun start n ->
         Olc.fold_range tree ~start ~n

@@ -24,6 +24,10 @@ and t = {
   remove : string -> bool;
   update : string -> int -> bool;  (** in-place value overwrite *)
   find : string -> int option;
+  multi_find : string array -> int option array;
+      (** batched point lookup: slot [i] is [find keys.(i)].  Backends
+          with a native group-descent path (B+-tree, OLC) overlap the
+          per-level node fetches; the rest run a [find] loop *)
   scan : string -> int -> int;
       (** [scan start n] visits up to [n] entries with key >= start and
           returns how many were visited; each visited key is
@@ -42,6 +46,10 @@ and t = {
 
 val no_size_bound : int -> unit
 (** The no-op [set_size_bound] for inelastic indexes. *)
+
+val multi_of_find : (string -> int option) -> string array -> int option array
+(** Fallback [multi_find] for backends without a group-descent path: a
+    plain [find] loop. *)
 
 val inject : site:Ei_fault.Fault.site -> t -> t
 (** [inject ~site ix] is [ix] whose point operations (insert / remove /

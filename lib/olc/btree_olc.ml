@@ -63,6 +63,7 @@ let yp_restart = Fault.site "olc.yield.restart"
 let yp_locked = Fault.site "olc.yield.locked"
 let yp_convert = Fault.site "olc.yield.convert"
 let yp_scan = Fault.site "olc.yield.scan"
+let yp_multi = Fault.site "olc.yield.multi"
 
 (* --- Version locks -------------------------------------------------- *)
 
@@ -603,6 +604,65 @@ let find t key =
       go node nv)
 
 let mem t key = Option.is_some (find t key)
+
+(* Batched lookups: walk up to [group] keys through the tree in
+   lockstep ({!Ei_btree.Interleave}), one descent step per cursor per
+   round, prefetching each child node before touching its version
+   word.  A step re-validates exactly what [find]'s would — the
+   current node's version after reading the child pointer (or the leaf
+   payload) — so each cursor follows the standard OLC read protocol
+   unchanged.
+
+   Restarts are per-cursor, not per-batch: the validation failures
+   [with_restart] would catch ([Restart], plus [Invalid_argument] /
+   [Assert_failure] from torn optimistic reads) are passed to the
+   engine as its [retry] classifier, which resets only the conflicting
+   cursor back to root re-acquisition.  Batch-wide restarts would let
+   one hot writer starve K lookups at a time.  [yp_multi] fires once
+   per lockstep round so the simulation scheduler can interleave
+   writers *between* rounds, in the middle of a batch. *)
+let multi_find ?(group = 8) t keys =
+  let nkeys = Array.length keys in
+  let out = Array.make nkeys None in
+  let base = ref 0 in
+  while !base < nkeys do
+    let n = min group (nkeys - !base) in
+    let first = !base in
+    Ei_btree.Interleave.run
+      ~yield:(fun () -> Fault.point yp_multi)
+      ~retry:(function
+        | Restart | Invalid_argument _ | Assert_failure _ -> true
+        | _ -> false)
+      ~n
+      ~start:(fun _ ->
+        let rv = read_lock t.root_lock in
+        let node = t.root in
+        let nv = read_lock (node_version node) in
+        check t.root_lock rv;
+        (node, nv))
+      ~step:(fun i (node, nv) ->
+        let key = keys.(first + i) in
+        match node with
+        | Leaf l ->
+          let r =
+            match l.repr with
+            | Lstd x -> Std_leaf.find x key
+            | Lseq x -> Seqtree.find x ~load:t.load key
+          in
+          check l.lversion nv;
+          out.(first + i) <- r;
+          Ei_btree.Interleave.Done
+        | Inner nd ->
+          let ci = child_index nd key in
+          let child = nd.children.(ci) in
+          Ei_util.Prefetch.prefetch child;
+          let cv = read_lock (node_version child) in
+          check nd.iversion nv;
+          Ei_btree.Interleave.Continue (child, cv))
+      ();
+    base := first + n
+  done;
+  out
 
 let insert t key tid =
   with_restart (fun () ->

@@ -70,6 +70,14 @@ val update : t -> string -> int -> bool
 
 val find : t -> string -> int option
 val mem : t -> string -> bool
+
+val multi_find : ?group:int -> t -> string array -> int option array
+(** Batched point lookup: slot [i] is [find t keys.(i)].  Walks up to
+    [group] (default 8) keys in lockstep with software prefetch ahead
+    of each descent step; every cursor follows the standard OLC read
+    protocol, and restarts on version conflicts are per-cursor, so one
+    writer never restarts the whole batch. *)
+
 val key_len : t -> int
 
 val fold_range : t -> start:string -> n:int -> ('a -> string -> int -> 'a) -> 'a -> 'a

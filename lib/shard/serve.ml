@@ -287,19 +287,7 @@ let yp_rebuild = Fault.site "serve.yield.rebuild"
 
 let shard_apply t i ~gen (st : shard_state) part sub =
   let n = Array.length sub.sops in
-  for j = 0 to n - 1 do
-    (* Preemption point for the ei_sim schedule explorer: per applied
-       operation, so a perturbed run can stretch the window between a
-       client's submission and the shard's apply.  Inert in production
-       (one atomic load). *)
-    Fault.point yp_op;
-    if Atomic.get st.gen <> gen then raise Stale_generation;
-    (match st.faults with
-    | Some f ->
-      if Fault.fire f.crash then raise (Crashed (Fault.name f.crash));
-      if Fault.fire f.poison then
-        Invariant.brokenf "Serve: injected poison at shard %d" i
-    | None -> ());
+  let apply_one j =
     let r =
       try
         match t.supervisor with
@@ -308,7 +296,95 @@ let shard_apply t i ~gen (st : shard_state) part sub =
       with Fault.Injected _ -> rejected_code
     in
     sub.results.(sub.dest.(j)) <- r
-  done
+  in
+  (* Runs of consecutive point reads are deferred and flushed as one
+     grouped [multi_find], stable-sorted by key first so the group
+     descent shares upper-level nodes (sorted neighbours take the same
+     root-to-leaf path prefix).  Only reads are ever reordered, and
+     only with other reads of the same run — a read never crosses a
+     write in either direction, so each read still observes exactly
+     the writes that preceded it in submission order.  Acks stay
+     order-correct because results are slot-addressed: every op
+     carries its client slot in [dest] (frozen before enqueue), each
+     result is scattered to its own slot, and the waiter completes
+     only after the whole sub-batch — clients never observe the
+     in-batch application order, only the filled slots. *)
+  let run = ref [] in
+  let run_len = ref 0 in
+  let flush () =
+    (match !run with
+    | [] -> ()
+    | [ j ] -> apply_one j
+    | rev ->
+      let key_at j =
+        match sub.sops.(j) with
+        | Find k -> k
+        | _ -> Ei_util.Invariant.impossible "serve: non-read in read run"
+      in
+      (* Sort by a 63-bit immediate prefix of each key (precomputed
+         once per element), so almost every comparison is an int
+         compare; only prefix ties pay the full key comparison. *)
+      let tagged = Array.make !run_len (0, 0) in
+      let l = ref rev in
+      for x = !run_len - 1 downto 0 do
+        (match !l with
+        | j :: tl ->
+          tagged.(x) <- (Ei_util.Key.sort_prefix (key_at j), j);
+          l := tl
+        | [] -> Ei_util.Invariant.impossible "serve: read-run length drift")
+      done;
+      Array.stable_sort
+        (fun ((pa : int), a) ((pb : int), b) ->
+          if pa = pb then Ei_util.Key.compare_fast (key_at a) (key_at b)
+          else Int.compare pa pb)
+        tagged;
+      let keys = Array.map (fun (_, j) -> key_at j) tagged in
+      (match part.Index_ops.multi_find keys with
+      | rs ->
+        Array.iteri
+          (fun x (_, j) ->
+            sub.results.(sub.dest.(j)) <-
+              (match rs.(x) with Some tid -> tid | None -> -1))
+          tagged
+      | exception Fault.Injected _ ->
+        (* The grouped call cannot tell which keys it served before
+           the injected fault, so the run falls back to per-key
+           applies, each absorbing its own draw as a rejected op. *)
+        Array.iter (fun (_, j) -> apply_one j) tagged));
+    run := [];
+    run_len := 0
+  in
+  (try
+     for j = 0 to n - 1 do
+       (* Preemption point for the ei_sim schedule explorer: per applied
+          operation, so a perturbed run can stretch the window between a
+          client's submission and the shard's apply.  Inert in production
+          (one atomic load). *)
+       Fault.point yp_op;
+       if Atomic.get st.gen <> gen then raise Stale_generation;
+       (match st.faults with
+       | Some f ->
+         if Fault.fire f.crash then raise (Crashed (Fault.name f.crash));
+         if Fault.fire f.poison then
+           Invariant.brokenf "Serve: injected poison at shard %d" i
+       | None -> ());
+       match sub.sops.(j) with
+       | Find _ ->
+         run := j :: !run;
+         incr run_len
+       | Insert _ | Remove _ | Update _ | Scan _ ->
+         flush ();
+         apply_one j
+     done
+   with e ->
+     (* Dying (crash / poison / stale generation) mid-batch: deferred
+        reads were never applied — their slots keep the pending
+        sentinel and the client observes [Timed_out], exactly as for
+        the ops after the death point. *)
+     run := [];
+     run_len := 0;
+     raise e);
+  flush ()
 
 let shard_loop t i ~gen q =
   let st = t.shards.(i) in
@@ -995,6 +1071,17 @@ let index_ops ?(name = "served") t =
         match one (Find k) with
         | Applied tid when tid >= 0 -> Some tid
         | Applied _ | Rejected | Timed_out -> None);
+    multi_find =
+      (* one exec round: [run_round] buckets the reads per shard, and
+         each shard domain answers its sub-batch through the grouped
+         descent path of [shard_apply] *)
+      (fun keys ->
+        let outcomes = exec t (Array.map (fun k -> Find k) keys) in
+        Array.map
+          (function
+            | Applied tid when tid >= 0 -> Some tid
+            | Applied _ | Rejected | Timed_out -> None)
+          outcomes);
     scan =
       (fun start n ->
         match one (Scan (start, n)) with

@@ -76,6 +76,30 @@ let index_ops ?(name = "sharded") t =
     remove = (fun k -> (part_for t k).Index_ops.remove k);
     update = (fun k tid -> (part_for t k).Index_ops.update k tid);
     find = (fun k -> (part_for t k).Index_ops.find k);
+    multi_find =
+      (* Bucket the batch by owning shard so each part sees one grouped
+         call (group descent only overlaps fetches within one tree);
+         results scatter back to the caller's slots. *)
+      (fun keys ->
+        let nparts = Array.length t.parts in
+        let out = Array.make (Array.length keys) None in
+        let buckets = Array.make nparts [] in
+        Array.iteri
+          (fun i k ->
+            let s = shard_of_key t k in
+            buckets.(s) <- i :: buckets.(s))
+          keys;
+        Array.iteri
+          (fun s rev ->
+            match rev with
+            | [] -> ()
+            | rev ->
+              let idxs = Array.of_list (List.rev rev) in
+              let sub = Array.map (fun i -> keys.(i)) idxs in
+              let r = t.parts.(s).Index_ops.multi_find sub in
+              Array.iteri (fun j i -> out.(i) <- r.(j)) idxs)
+          buckets;
+        out);
     scan =
       (fun start n ->
         scan_parts t start n (fun p left -> p.Index_ops.scan start left));

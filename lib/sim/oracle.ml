@@ -54,6 +54,7 @@ let create ?(name = "oracle") ~key_len () : Index_ops.t =
         end
         else false);
     find = (fun k -> Smap.find_opt k !m);
+    multi_find = (fun keys -> Array.map (fun k -> Smap.find_opt k !m) keys);
     scan = (fun start n -> scan_from start n (fun _ -> ()));
     scan_keys = (fun start n visit -> scan_from start n visit);
     memory_bytes = (fun () -> 0);

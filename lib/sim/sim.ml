@@ -383,10 +383,76 @@ let olc_convert_scan_scenario () =
   in
   { Sched.fibers = [| ("churn", churn); ("scan", scan) |]; check }
 
+(* A batched reader interleaving group descents with a churn writer and
+   in-place leaf conversions: the per-cursor restart discipline of
+   [Olc.multi_find] under schedule exploration.  [yp_multi] yields once
+   per lockstep round, so the scheduler can park the reader mid-batch
+   with half its cursors resting on nodes the writer is about to split
+   or convert.  Stable keys (evens) are never mutated — every batch
+   must return exactly their tids — and the final check demands
+   bit-equivalence with a sequential [find] loop. *)
+let olc_multi_find_scenario () =
+  let key_len = 8 in
+  let table = Table.create ~key_len () in
+  let n = 96 in
+  let keys = Array.init n Key.of_int in
+  let tids = Array.map (fun k -> Table.append table k) keys in
+  let tree =
+    Olc.create ~leaf_capacity:8
+      ~kind:
+        (Olc.Olc_elastic (Olc.default_elastic_config ~size_bound:(1 lsl 20)))
+      ~key_len ~load:(Table.loader table) ()
+  in
+  Array.iteri
+    (fun i k -> if i mod 2 = 0 then ignore (Olc.insert tree k tids.(i)))
+    keys;
+  (* the batch mixes stable, churned and duplicate keys *)
+  let probe = Array.init 24 (fun j -> keys.(j * 4 mod n)) in
+  let churn () =
+    Olc.set_size_bound tree 256;  (* enter shrinking: conversions start *)
+    for i = 0 to n - 1 do
+      if i mod 2 = 1 then begin
+        ignore (Olc.insert tree keys.(i) tids.(i));
+        if i mod 4 = 1 then ignore (Olc.remove tree keys.(i))
+      end
+    done;
+    Olc.set_size_bound tree (1 lsl 20)
+  in
+  let reader () =
+    for _ = 1 to 6 do
+      let got = Olc.multi_find tree probe in
+      Array.iteri
+        (fun j k ->
+          let i = j * 4 mod n in
+          if i mod 2 = 0 && not (Option.equal Int.equal got.(j) (Some tids.(i)))
+          then
+            Invariant.brokenf "olc-multi-find: stable key %d wrong in batch" i;
+          ignore k)
+        probe;
+      Sched.pause ()
+    done
+  in
+  let check () =
+    Olc.check_invariants tree;
+    let batched = Olc.multi_find tree keys in
+    Array.iteri
+      (fun i k ->
+        let want =
+          if i mod 2 = 0 || i mod 4 = 3 then Some tids.(i) else None
+        in
+        if not (Option.equal Int.equal want batched.(i)) then
+          Invariant.brokenf "olc-multi-find: key %d: wrong final state" i;
+        if not (Option.equal Int.equal batched.(i) (Olc.find tree k)) then
+          Invariant.brokenf "olc-multi-find: key %d: batch <> find loop" i)
+      keys
+  in
+  { Sched.fibers = [| ("churn", churn); ("batch", reader) |]; check }
+
 let () =
   register_scenario "lost-update" lost_update_scenario;
   register_scenario "olc-race" olc_race_scenario;
-  register_scenario "olc-convert-scan" olc_convert_scan_scenario
+  register_scenario "olc-convert-scan" olc_convert_scan_scenario;
+  register_scenario "olc-multi-find" olc_multi_find_scenario
 
 (* --- Serve exploration ------------------------------------------------ *)
 

@@ -83,7 +83,9 @@ val scenario_names : unit -> string list
     ["olc-race"] (two writers and a scanning reader over one elastic
     OLC tree under a tight bound), ["olc-convert-scan"] (scans
     straddling compact/standard leaf boundaries during in-place
-    conversions — the elasticity §4 edge). *)
+    conversions — the elasticity §4 edge), ["olc-multi-find"] (batched
+    group descents interleaved with churn and conversions: per-cursor
+    OLC restarts, checked bit-equivalent to a sequential find loop). *)
 
 (** {2 Serve exploration (perturbation engine)} *)
 

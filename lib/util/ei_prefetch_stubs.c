@@ -1,0 +1,25 @@
+/* Software-prefetch primitive for the interleaved group-descent path.
+ *
+ * The argument is an arbitrary OCaml value; immediates carry no cache
+ * line to warm, so only pointers are forwarded to the hardware
+ * prefetcher.  A prefetch is purely a hint: it cannot fault, so a
+ * value whose block is about to be freed by another domain (an OLC
+ * node retired between the read and the prefetch) is still safe.
+ *
+ * __builtin_prefetch is a GNU extension supported by both gcc and
+ * clang; on other compilers the stub compiles to a no-op and the
+ * caller's hand-interleaved descent remains the (pure software)
+ * fallback for memory-level parallelism.
+ */
+
+#include <caml/mlvalues.h>
+
+CAMLprim value ei_prefetch_stub(value v)
+{
+#if defined(__GNUC__) || defined(__clang__)
+  if (Is_block(v)) __builtin_prefetch((const void *)v, 0 /* read */, 3);
+#else
+  (void)v;
+#endif
+  return Val_unit;
+}

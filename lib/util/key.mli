@@ -15,6 +15,13 @@ val compare_fast : t -> t -> int
     with {!compare} on every pair of strings; this is the kernel the
     index search paths use. *)
 
+val sort_prefix : t -> int
+(** First 63 bits of the key (big-endian byte order, zero-padded) as a
+    non-negative int.  Monotone in {!compare_fast}:
+    [sort_prefix a < sort_prefix b] implies [compare_fast a b < 0] —
+    a cheap immediate proxy for sorting key collections; only
+    prefix-equal pairs need the full comparison. *)
+
 val equal : t -> t -> bool
 val length : t -> int
 

@@ -1,0 +1,24 @@
+(* Software prefetch: a thin veneer over __builtin_prefetch (see
+   ei_prefetch_stubs.c).
+
+   The stub is [@@noalloc] — no GC interaction, no callbacks — so a
+   call costs one C call.  [Sys.opaque_identity] keeps the compiler
+   from discarding the argument computation (the whole point is the
+   address computation happening early), and the [enabled] toggle
+   lets benchmarks A/B the hint against the pure hand-interleaved
+   descent without rebuilding. *)
+
+external unsafe_prefetch : 'a -> unit = "ei_prefetch_stub" [@@noalloc]
+
+(* Toggled only from benchmark set-up code / EI_PREFETCH at start-up;
+   readers racing a toggle merely see the old hint behaviour. *)
+let enabled =
+  ref
+    (match Sys.getenv_opt "EI_PREFETCH" with
+    | Some ("0" | "false" | "off") -> false
+    | _ -> true)
+  [@ei.single_domain]
+
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+let[@inline] prefetch x = if !enabled then unsafe_prefetch (Sys.opaque_identity x)

@@ -1,0 +1,18 @@
+(** Software prefetch hint for pointer-chasing descents.
+
+    [prefetch v] asks the hardware to start pulling the block behind
+    [v] into cache; it never faults and never allocates.  Immediate
+    values are ignored.  The interleaved multi-lookup descent issues
+    one hint per cursor per level so the DRAM misses of a batch
+    overlap instead of serialising. *)
+
+val prefetch : 'a -> unit
+(** Hint that [v]'s block is about to be read.  No-op when disabled or
+    when the argument is an immediate. *)
+
+val set_enabled : bool -> unit
+(** Benchmark toggle (also initialised from [EI_PREFETCH=0]): with
+    prefetch off the group descent still interleaves by hand, which is
+    the pure-OCaml fallback for memory-level parallelism. *)
+
+val is_enabled : unit -> bool

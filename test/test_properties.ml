@@ -366,6 +366,145 @@ let prop_elastic_skiplist =
     ~count:200 (ops_arbitrary 150)
     (fun ops -> agree_with_model (elastic_skiplist_driver ~size_bound:800 ()) ops)
 
+let prop_btree_gapped =
+  QCheck.Test.make ~name:"gapped btree agrees with model" ~count:200
+    (ops_arbitrary 150)
+    (fun ops -> agree_with_model (btree_driver (Policy.all_gapped ())) ops)
+
+let prop_btree_gapped_dense =
+  QCheck.Test.make ~name:"gapped btree agrees with model on dense prefixes"
+    ~count:200 (ops_arbitrary 150)
+    (fun ops ->
+      agree_with_model ~key_of:dense_key_of_pool
+        (btree_driver (Policy.all_gapped ()))
+        ops)
+
+(* --- Gapped leaf vs standard leaf ------------------------------------- *)
+
+(* Differential: the gapped leaf is behaviourally identical to the
+   packed standard leaf at equal capacity — same insert/remove results
+   (including [Full], since both fill at [capacity] live entries), same
+   lookups, same positional view in key order. *)
+let prop_gapped_leaf =
+  let module Std_leaf = Ei_btree.Std_leaf in
+  let module Gapped = Ei_btree.Gapped_leaf in
+  QCheck.Test.make ~name:"gapped leaf matches std leaf" ~count:400
+    (ops_arbitrary ~pool:24 120)
+    (fun ops ->
+      let std = Std_leaf.create ~key_len:8 ~capacity:16 () in
+      let gap = Gapped.create ~key_len:8 ~capacity:16 () in
+      List.for_all
+        (fun op ->
+          let ok =
+            match op with
+            | Insert i ->
+              let k = key_of_pool i in
+              Std_leaf.insert std k i = Gapped.insert gap k i
+            | Remove i ->
+              let k = key_of_pool i in
+              Std_leaf.remove std k = Gapped.remove gap k
+            | Find i ->
+              let k = key_of_pool i in
+              Std_leaf.find std k = Gapped.find gap k
+              && Std_leaf.lower_bound std k = Gapped.lower_bound gap k
+            | Scan (i, n) ->
+              let k = key_of_pool i in
+              let from = Std_leaf.lower_bound std k in
+              let take l =
+                List.rev
+                  (l from (fun acc k' tid ->
+                       if List.length acc < n then (k', tid) :: acc else acc)
+                     [])
+              in
+              take (Std_leaf.fold_from std) = take (Gapped.fold_from gap)
+          in
+          Gapped.check_invariants gap;
+          ok
+          && Std_leaf.count std = Gapped.count gap
+          && Std_leaf.is_full std = Gapped.is_full gap)
+        ops)
+
+(* --- multi_find equivalence ------------------------------------------- *)
+
+module Registry = Ei_harness.Registry
+module Index_ops = Ei_harness.Index_ops
+
+(* [multi_find] must be bit-equivalent to a [find] loop on every
+   backend, for batches with duplicate and missing keys, queried both
+   mid-history (across leaf splits and elastic conversions) and at the
+   end. *)
+let multi_find_agrees mk (ops, queries) =
+  let table = Table.create ~key_len:8 () in
+  let ix = mk table in
+  let tids = Hashtbl.create 64 in
+  let apply op =
+    match op with
+    | Insert i ->
+      let k = key_of_pool i in
+      let tid =
+        match Hashtbl.find_opt tids k with
+        | Some t -> t
+        | None ->
+          let t = Table.append table k in
+          Hashtbl.add tids k t;
+          t
+      in
+      ignore (ix.Index_ops.insert k tid)
+    | Remove i -> ignore (ix.Index_ops.remove (key_of_pool i))
+    | Find i -> ignore (ix.Index_ops.find (key_of_pool i))
+    | Scan _ -> ()
+  in
+  let check () =
+    (* queries range over twice the pool, so roughly half miss *)
+    let keys = Array.of_list (List.map key_of_pool queries) in
+    ix.Index_ops.multi_find keys = Array.map ix.Index_ops.find keys
+  in
+  let rec halves n = function
+    | [] -> true
+    | op :: rest ->
+      apply op;
+      if n = 0 then check () && halves (-1) rest else halves (n - 1) rest
+  in
+  halves (List.length ops / 2) ops && check ()
+
+let prop_multi_find =
+  let mk_plain kind table = Registry.make ~key_len:8 ~load:(Table.loader table) kind in
+  let mk_olc kind table =
+    let load =
+      Ei_olc.Btree_olc.safe_loader ~key_len:8
+        ~table_length:(fun () -> Table.length table)
+        ~load:(Table.loader table)
+    in
+    Registry.make ~key_len:8 ~load kind
+  in
+  let backends =
+    [
+      ("stx", mk_plain Registry.Stx);
+      ("gapped", mk_plain Registry.Gapped);
+      ("seqtree", mk_plain (Registry.Seqtree 64));
+      ( "elastic",
+        mk_plain (Registry.Elastic (Elasticity.default_config ~size_bound:2_000)) );
+      ("skiplist", mk_plain Registry.Skiplist);
+      ("hot", mk_plain Registry.Hot);
+      ("olc", mk_olc (Registry.Olc Ei_olc.Btree_olc.Olc_std));
+      ( "olc-elastic",
+        mk_olc
+          (Registry.Olc
+             (Ei_olc.Btree_olc.Olc_elastic
+                (Ei_olc.Btree_olc.default_elastic_config ~size_bound:2_000))) );
+    ]
+  in
+  List.map
+    (fun (name, mk) ->
+      QCheck.Test.make
+        ~name:(Printf.sprintf "multi_find = find loop (%s)" name)
+        ~count:100
+        QCheck.(
+          pair (ops_arbitrary ~pool:64 200)
+            (list_of_size (Gen.int_bound 80) (int_bound 127)))
+        (multi_find_agrees mk))
+    backends
+
 (* --- Bitsarr ---------------------------------------------------------- *)
 
 let prop_bitsarr =
@@ -475,7 +614,11 @@ let () =
           qt prop_seqtree_dense;
           qt prop_btree_elastic_dense;
           qt prop_radix_dense;
+          qt prop_btree_gapped;
+          qt prop_btree_gapped_dense;
         ] );
+      ("gapped-leaf", [ qt prop_gapped_leaf ]);
+      ("multi-find", List.map qt prop_multi_find);
       ("bitsarr", [ qt prop_bitsarr ]);
       ( "memory-model",
         [ qt prop_memmodel_monotone; qt prop_elastic_requirement ] );

@@ -280,7 +280,7 @@ let test_olc_scenarios_survive_exploration () =
         Alcotest.fail
           (Printf.sprintf "%s failed at round %d: %s" name f.Sched.round
              f.Sched.error))
-    [ "olc-race"; "olc-convert-scan" ]
+    [ "olc-race"; "olc-convert-scan"; "olc-multi-find" ]
 
 let test_olc_convert_scan_enumerated () =
   let failure, distinct =
@@ -290,6 +290,15 @@ let test_olc_convert_scan_enumerated () =
   match failure with
   | None -> ()
   | Some f -> Alcotest.fail ("olc-convert-scan: " ^ f.Sched.error)
+
+let test_olc_multi_find_enumerated () =
+  let failure, distinct =
+    Sched.enumerate ~fanout:2 ~depth:8 (mk "olc-multi-find" ())
+  in
+  Alcotest.(check bool) "coverage" true (distinct >= 4);
+  match failure with
+  | None -> ()
+  | Some f -> Alcotest.fail ("olc-multi-find: " ^ f.Sched.error)
 
 (* --- Serve perturbation ----------------------------------------------- *)
 
@@ -346,6 +355,8 @@ let () =
             test_olc_scenarios_survive_exploration;
           Alcotest.test_case "olc-convert-scan survives enumeration" `Slow
             test_olc_convert_scan_enumerated;
+          Alcotest.test_case "olc-multi-find survives enumeration" `Slow
+            test_olc_multi_find_enumerated;
         ] );
       ( "serve",
         [

@@ -3,7 +3,7 @@
    the text/JSON renderings. *)
 
 let default_roots =
-  [ "lib/olc"; "lib/shard"; "lib/core"; "lib/fault"; "lib/obs" ]
+  [ "lib/olc"; "lib/shard"; "lib/core"; "lib/fault"; "lib/obs"; "lib/btree" ]
 
 let rec collect path acc =
   if Sys.is_directory path then

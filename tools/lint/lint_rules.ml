@@ -98,7 +98,7 @@ let int_fields =
     "max_compact_capacity"; "segment_capacity"; "max_segment_capacity";
     "cold_sweep_period"; "cold_sweep_batch"; "seed"; "transitions";
     "segments"; "conversions"; "leaf_splits"; "leaf_merges";
-    "search_splits"; "searches"; "scan_steps"; "tree_steps";
+    "search_splits"; "searches"; "scan_steps"; "tree_steps"; "hi_slot";
     "key_compares"; "inserts"; "removes"; "rebuilds"; "merges";
     "merge_work"; "key_loads"; "ops"; "width"; "seq_levels";
     "seq_breathing"; "static_n"; "compact_leaves"; "delta_count";
