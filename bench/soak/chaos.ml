@@ -4,7 +4,8 @@
    and EXPERIMENTS.md for the methodology.
 
    Run with: dune exec bench/soak/chaos.exe -- [--seed N] [--scale F]
-             [--shards N] [--plan SPEC] [--quiet]
+             [--shards N] [--plan SPEC] [--wal-dir DIR] [--kill-at N]
+             [--quiet]
 
    EI_SEED is honoured when --seed is absent.  Exits non-zero on any
    lost acknowledged write, phantom row, read inconsistency or
@@ -18,6 +19,8 @@ let () =
   and scale = ref 1.0
   and shards = ref 4
   and plan = ref None
+  and wal_dir = ref None
+  and kill_at = ref 0
   and quiet = ref false in
   let rec parse = function
     | [] -> ()
@@ -36,6 +39,12 @@ let () =
       | Error e ->
         prerr_endline e;
         exit 2);
+      parse rest
+    | "--wal-dir" :: v :: rest ->
+      wal_dir := Some v;
+      parse rest
+    | "--kill-at" :: v :: rest ->
+      kill_at := int_of_string v;
       parse rest
     | "--quiet" :: rest ->
       quiet := true;
@@ -56,8 +65,14 @@ let () =
       cfg with
       Chaos.scale = !scale;
       shards = !shards;
-      plan = (match !plan with Some p -> p | None -> cfg.Chaos.plan);
+      plan =
+        (match (!plan, !wal_dir) with
+        | Some p, _ -> p
+        | None, Some _ -> Chaos.default_wal_plan
+        | None, None -> cfg.Chaos.plan);
       progress = (if !quiet then None else Some print_endline);
+      wal_dir = !wal_dir;
+      kill_at = !kill_at;
     }
   in
   let report = Chaos.run cfg in

@@ -1,0 +1,122 @@
+(* WAL cost/recovery bench (not part of `dune runtest`): the numbers
+   behind the EXPERIMENTS.md durability tables.
+
+   Run with: dune exec bench/soak/wal_bench.exe -- [--ops N] [--dir DIR]
+
+   Two sweeps:
+   - fsync cadence: append --ops inserts through a group-committing
+     writer (batch 32) at fsync_every in {1, 4, 32, 0} plus a no-WAL
+     baseline, reporting Mops and the per-op overhead.
+   - recovery: rebuild the same log into a fresh part, with
+     checkpoints disabled (pure replay) and at the default cadence
+     (newest checkpoint + tail replay), reporting wall time and the
+     replayed-record count. *)
+
+module Key = Ei_util.Key
+module Clock = Ei_util.Bench_clock
+module Table = Ei_storage.Table
+module Registry = Ei_harness.Registry
+module Index_ops = Ei_harness.Index_ops
+module Wal = Ei_wal.Wal
+
+let batch = 32
+
+let mk_part table name =
+  Registry.make ~name ~key_len:8 ~load:(Table.loader table)
+    (Registry.Elastic (Ei_core.Elasticity.default_config ~size_bound:max_int))
+
+let mk_keys table n =
+  let keys = Array.init n (fun i -> Key.of_int (i * 2654435761)) in
+  let tids = Array.map (Table.append table) keys in
+  (keys, tids)
+
+let append_run ~ops ~wal table keys tids =
+  let part = mk_part table "wal-bench" in
+  let w =
+    Option.map
+      (fun cfg ->
+        Wal.reset_dir cfg.Wal.dir;
+        fst (Wal.recover cfg ~shard:0 ~part))
+      wal
+  in
+  let t0 = Clock.now_ns () in
+  for i = 0 to ops - 1 do
+    Option.iter (fun w -> Wal.log_insert w keys.(i) tids.(i)) w;
+    ignore (part.Index_ops.insert keys.(i) tids.(i));
+    if i mod batch = batch - 1 then
+      Option.iter (fun w -> Wal.commit w ~part) w
+  done;
+  Option.iter Wal.close w;
+  let dt = Clock.now_ns () - t0 in
+  (part, dt)
+
+let mops ops ns = float_of_int ops /. (float_of_int ns /. 1e9) /. 1e6
+
+let () =
+  let ops = ref 200_000 and dir = ref "/tmp/ei-wal-bench" in
+  let rec parse = function
+    | [] -> ()
+    | "--ops" :: v :: rest ->
+      ops := int_of_string v;
+      parse rest
+    | "--dir" :: v :: rest ->
+      dir := v;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "wal_bench: unknown argument %s\n" arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let ops = !ops and dir = !dir in
+  let table = Table.create ~initial_capacity:(2 * ops) ~key_len:8 () in
+  let keys, tids = mk_keys table ops in
+  (* fsync cadence sweep *)
+  let _, base_ns = append_run ~ops ~wal:None table keys tids in
+  Printf.printf "# fsync cadence (ops %d, commit batch %d)\n" ops batch;
+  Printf.printf "%-12s %10s %10s\n" "cadence" "Mops" "vs none";
+  Printf.printf "%-12s %10.2f %10s\n" "none" (mops ops base_ns) "1.00x";
+  List.iter
+    (fun fsync_every ->
+      (* checkpoints off: isolate the framing + fsync cost *)
+      let cfg =
+        {
+          (Wal.default_config ~dir) with
+          Wal.fsync_every;
+          checkpoint_every = 0;
+        }
+      in
+      let _, ns = append_run ~ops ~wal:(Some cfg) table keys tids in
+      Printf.printf "%-12s %10.2f %9.2fx\n"
+        (if fsync_every = 0 then "close-only"
+         else Printf.sprintf "every %d" fsync_every)
+        (mops ops ns)
+        (float_of_int base_ns /. float_of_int ns))
+    [ 1; 4; 32; 0 ];
+  (* recovery sweep: pure replay vs checkpoint + tail *)
+  Printf.printf "\n# recovery (ops %d)\n" ops;
+  Printf.printf "%-24s %10s %12s %12s\n" "layout" "ms" "ckpt rows" "replayed";
+  List.iter
+    (fun (label, checkpoint_every) ->
+      let cfg =
+        { (Wal.default_config ~dir) with Wal.fsync_every = 0; checkpoint_every }
+      in
+      let part, _ = append_run ~ops ~wal:(Some cfg) table keys tids in
+      let want = Index_ops.fingerprint part in
+      let t2 = Table.create ~initial_capacity:(2 * ops) ~key_len:8 () in
+      let p2 = mk_part t2 "wal-bench-rec" in
+      let t0 = Clock.now_ns () in
+      let w2, r =
+        Wal.recover cfg ~shard:0
+          ~restore:(fun ~tid ~key -> Table.restore_row t2 ~tid ~key)
+          ~part:p2
+      in
+      let dt = Clock.now_ns () - t0 in
+      Wal.close w2;
+      if (Index_ops.fingerprint p2 : int) <> want then begin
+        Printf.eprintf "recovery diverged (%s)\n" label;
+        exit 1
+      end;
+      Printf.printf "%-24s %10.1f %12d %12d\n" label
+        (float_of_int dt /. 1e6)
+        r.Wal.r_ckpt_entries r.Wal.r_replayed)
+    [ ("log only", 0); ("checkpoint + tail", 256) ]

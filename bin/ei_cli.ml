@@ -9,6 +9,11 @@
               invariant sanitizer ({!Ei_check.Check}) over it
      serve  — run a sharded elastic fleet ({!Ei_shard.Serve}) with the
               global memory coordinator under a YCSB-style load
+     chaos  — deterministic fault-injection soak against the supervised
+              fleet; with --wal-dir the shards are durable and the soak
+              proves crash recovery (kill -9, restart, verify)
+     wal    — inspect / verify / repair a durable shard's write-ahead
+              log and checkpoint manifests
      stats  — run a YCSB workload with the ei_obs metrics registry on
               and print the exposition (Prometheus text or JSON)
      trace  — run a sharded YCSB workload with the ei_obs trace ring on,
@@ -29,6 +34,8 @@
      ei serve --shards 4 --records 100000 --ops 200000 --bound 60
      ei stats --index elastic --workload A --json
      ei trace --shards 2 --records 50000 --ops 100000 --out ei.trace.json
+     ei chaos --scale 0.1 --wal-dir /tmp/ei-wal
+     ei wal --dir /tmp/ei-wal --verify
      ei sim diff --a oracle --b olc-elastic --gen elastic --ops 40000
      ei sim sched --scenario olc-convert-scan --rounds 25 --seed 1
      ei sim --replay repro.sim.json *)
@@ -290,8 +297,17 @@ let serve_cmd =
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed for the workload.")
   in
-  let run shards records ops pct seed =
+  let wal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "wal" ] ~docv:"DIR"
+             ~doc:"Write-ahead-log directory: shards run durable (group \
+                   commit, fingerprinted checkpoints) and recover from \
+                   DIR on start.  Keys already recovered are rejected \
+                   by the load phase as duplicates.")
+  in
+  let run shards records ops pct seed wal_dir =
     if shards < 1 then begin prerr_endline "need at least one shard"; exit 2 end;
+    let module Wal = Ei_wal.Wal in
     let global_bound = records * 27 * pct / 100 in
     let table = Table.create ~key_len:8 () in
     let load =
@@ -299,25 +315,64 @@ let serve_cmd =
         ~table_length:(fun () -> Table.length table)
         ~load:(Table.loader table)
     in
-    let parts =
-      Array.init shards (fun i ->
-          Registry.make
-            ~name:(Printf.sprintf "olc-elastic/%d" i)
-            ~key_len:8 ~load
-            (Registry.Olc
-               (Olc.Olc_elastic
-                  (Olc.default_elastic_config
-                     ~size_bound:(max 1 (global_bound / shards))))))
+    let mk_part i =
+      Registry.make
+        ~name:(Printf.sprintf "olc-elastic/%d" i)
+        ~key_len:8 ~load
+        (Registry.Olc
+           (Olc.Olc_elastic
+              (Olc.default_elastic_config
+                 ~size_bound:(max 1 (global_bound / shards)))))
     in
+    let parts = Array.init shards mk_part in
     let router = Shard.create parts in
-    let serve =
-      Serve.start ~coordinator:(Serve.default_coordinator ~global_bound) router
+    let wal = Option.map (fun dir -> Wal.default_config ~dir) wal_dir in
+    let supervisor =
+      (* Durable shards need a supervisor: a WAL crash kills the domain
+         and the rebuild path is recover-from-disk. *)
+      Option.map
+        (fun _ -> Serve.default_supervisor ~table ~rebuild:mk_part)
+        wal
     in
+    let serve =
+      Serve.start
+        ~coordinator:(Serve.default_coordinator ~global_bound)
+        ?supervisor ?wal
+        ?wal_restore:
+          (Option.map
+             (fun _ ~tid ~key -> Table.restore_row table ~tid ~key)
+             wal)
+        router
+    in
+    (match Serve.wal_recoveries serve with
+    | [] -> ()
+    | boot ->
+      List.iter
+        (fun (i, r) ->
+          Printf.printf
+            "shard %d: recovered ckpt %d (%d entries) + %d replayed, \
+             last lsn %d%s%s\n"
+            i r.Wal.r_ckpt_seq r.Wal.r_ckpt_entries r.Wal.r_replayed
+            r.Wal.r_last_lsn
+            (if r.Wal.r_torn > 0 then ", torn tail truncated" else "")
+            (if r.Wal.r_clean then ", clean shutdown" else ""))
+        boot);
+    (* Graceful shutdown: SIGTERM / SIGINT request a drain instead of
+       killing the process mid-batch.  The workload loop stops at the
+       next chunk boundary; [Serve.stop] then joins the domains and
+       closes the WAL writers — final fsync plus the clean-shutdown
+       marker — and the process exits 0.  Acknowledged ops are on disk;
+       the next start recovers them without replay surprises. *)
+    let stop_req = Atomic.make false in
+    let prev_term = ref Sys.Signal_default and prev_int = ref Sys.Signal_default in
+    let request_stop _ = Atomic.set stop_req true in
+    prev_term := Sys.signal Sys.sigterm (Sys.Signal_handle request_stop);
+    prev_int := Sys.signal Sys.sigint (Sys.Signal_handle request_stop);
     let shed = ref 0 in
     let batched a =
       let n = Array.length a in
       let i = ref 0 in
-      while !i < n do
+      while !i < n && not (Atomic.get stop_req) do
         let len = min 512 (n - !i) in
         Array.iter
           (function
@@ -337,8 +392,10 @@ let serve_cmd =
             (Array.init records (fun s ->
                  Ei_shard.Serve.Insert (Ycsb.key_of_seq s, tids.(s)))))
     in
-    Printf.printf "%d shard domain(s) + coordinator; global bound %.1f MiB\n"
-      shards (Clock.mib global_bound);
+    Printf.printf "%d shard domain(s) + coordinator%s; global bound %.1f MiB\n"
+      shards
+      (if wal = None then "" else " + WAL")
+      (Clock.mib global_bound);
     Printf.printf "load   %8d ops  %6.2f Mops\n" records
       (Clock.mops records load_dt);
     let rng = Ei_util.Rng.stream seed 0 in
@@ -375,10 +432,20 @@ let serve_cmd =
       (Serve.rebalances serve);
     if !shed > 0 then
       Printf.printf "%d operation(s) shed (rejected or timed out)\n" !shed;
-    Serve.stop serve
+    Serve.stop serve;
+    Sys.set_signal Sys.sigterm !prev_term;
+    Sys.set_signal Sys.sigint !prev_int;
+    if Atomic.get stop_req then begin
+      Printf.printf
+        "interrupted: drained in-flight batches and shut down cleanly%s\n"
+        (if wal = None then ""
+         else " (WAL fsynced, clean-shutdown marker written)");
+      exit 0
+    end
   in
   let term =
-    Term.(const run $ shards_arg $ records_arg $ ops_arg $ bound_arg $ seed_arg)
+    Term.(const run $ shards_arg $ records_arg $ ops_arg $ bound_arg $ seed_arg
+          $ wal_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -412,46 +479,250 @@ let chaos_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress lines.")
   in
-  let run seed scale shards plan quiet =
+  let wal_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "wal-dir" ] ~docv:"DIR"
+             ~doc:"Run with durable shards: group-commit WAL under DIR \
+                   (reset on entry), the WAL crash sites armed, and a \
+                   post-soak recover-from-disk restart check.")
+  in
+  let kill_at_arg =
+    Arg.(value & opt int 0
+         & info [ "kill-at" ] ~docv:"ROUND"
+             ~doc:"SIGKILL the whole process mid-batch at this round \
+                   (requires --wal-dir; expect exit 137), then prove \
+                   recovery with --verify-only from a fresh process.")
+  in
+  let verify_arg =
+    Arg.(value & flag
+         & info [ "verify-only" ]
+             ~doc:"Skip the soak: recover the shards left in --wal-dir \
+                   by a previous (killed) run, reconcile them against \
+                   the on-disk acknowledgement journal, deep-validate.")
+  in
+  let run seed scale shards plan quiet wal_dir kill_at verify_only =
     if shards < 1 then begin prerr_endline "need at least one shard"; exit 2 end;
-    let plan =
-      match plan with
-      | None -> Chaos.default_plan
-      | Some spec -> (
-        match Ei_fault.Fault.parse_plan spec with
-        | Ok p -> p
-        | Error e ->
-          prerr_endline e;
-          exit 2)
-    in
-    let cfg = Chaos.default_config ~seed in
-    let cfg =
-      {
-        cfg with
-        Chaos.scale;
-        shards;
-        plan;
-        progress = (if quiet then None else Some print_endline);
-      }
-    in
-    let report = Chaos.run cfg in
-    Format.printf "%a%!" Chaos.pp_report report;
-    if Chaos.ok report then print_endline "chaos soak: OK"
-    else begin
-      print_endline "chaos soak: FAILED";
-      Printf.printf "reproduce with: ei chaos --seed %d --scale %g --shards %d\n"
-        seed scale shards;
-      exit 1
-    end
+    if (kill_at > 0 || verify_only) && wal_dir = None then begin
+      prerr_endline "--kill-at and --verify-only require --wal-dir";
+      exit 2
+    end;
+    match (verify_only, wal_dir) with
+    | true, Some dir ->
+      let v = Chaos.verify ~shards ~dir () in
+      Format.printf "%a%!" Chaos.pp_verify v;
+      if Chaos.verify_ok v then print_endline "chaos verify: OK"
+      else begin
+        print_endline "chaos verify: FAILED";
+        exit 1
+      end
+    | _ ->
+      let plan =
+        match plan with
+        | None ->
+          if wal_dir = None then Chaos.default_plan else Chaos.default_wal_plan
+        | Some spec -> (
+          match Ei_fault.Fault.parse_plan spec with
+          | Ok p -> p
+          | Error e ->
+            prerr_endline e;
+            exit 2)
+      in
+      let cfg = Chaos.default_config ~seed in
+      let cfg =
+        {
+          cfg with
+          Chaos.scale;
+          shards;
+          plan;
+          progress = (if quiet then None else Some print_endline);
+          wal_dir;
+          kill_at;
+        }
+      in
+      let report = Chaos.run cfg in
+      Format.printf "%a%!" Chaos.pp_report report;
+      if Chaos.ok report then print_endline "chaos soak: OK"
+      else begin
+        print_endline "chaos soak: FAILED";
+        Printf.printf
+          "reproduce with: ei chaos --seed %d --scale %g --shards %d%s\n" seed
+          scale shards
+          (match wal_dir with Some d -> " --wal-dir " ^ d | None -> "");
+        exit 1
+      end
   in
   let term =
-    Term.(const run $ seed_arg $ scale_arg $ shards_arg $ plan_arg $ quiet_arg)
+    Term.(const run $ seed_arg $ scale_arg $ shards_arg $ plan_arg $ quiet_arg
+          $ wal_dir_arg $ kill_at_arg $ verify_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Run the deterministic chaos soak: seeded fault injection \
              against the supervised shard fleet, with shadow-model \
-             reconciliation and deep validation.")
+             reconciliation and deep validation.  With --wal-dir the \
+             shards are durable and the soak additionally proves crash \
+             recovery (kill -9 via --kill-at, then --verify-only).")
+    term
+
+(* --- wal ---------------------------------------------------------------- *)
+
+(* Read-only WAL forensics (plus one explicit repair): what an operator
+   points at a durable shard's directory after a crash, before deciding
+   to restart.  Everything rides on {!Ei_wal.Wal}'s total decoders —
+   corrupt bytes are reported, never raised through. *)
+let wal_cmd =
+  let module Wal = Ei_wal.Wal in
+  let dir_arg =
+    Arg.(required & opt (some string) None
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"WAL root (the --wal value of ei serve / --wal-dir of ei \
+                   chaos); each shard lives under DIR/shard<i>/.")
+  in
+  let shard_arg =
+    Arg.(value & opt (some int) None
+         & info [ "shard" ] ~docv:"N" ~doc:"Restrict to one shard.")
+  in
+  let verify_arg =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Exit non-zero unless every shard is recoverable: \
+                   contiguous segments, no interior torn frame (a torn \
+                   tail of the newest segment is legal — recovery \
+                   truncates it), and a validating checkpoint whenever \
+                   any checkpoint exists.")
+  in
+  let truncate_arg =
+    Arg.(value & flag
+         & info [ "truncate" ]
+             ~doc:"Repair: truncate a torn tail of each shard's newest \
+                   segment in place.  The only mutating mode.")
+  in
+  let manifest_arg =
+    Arg.(value & flag
+         & info [ "manifest" ]
+             ~doc:"Print each shard's newest parseable checkpoint manifest \
+                   as JSON and nothing else.")
+  in
+  let run dir shard verify truncate manifest =
+    let shards =
+      match shard with Some i -> [ i ] | None -> Wal.shards ~dir
+    in
+    if shards = [] then begin
+      Printf.eprintf "no shards under %s\n" dir;
+      exit 2
+    end;
+    if truncate then
+      List.iter
+        (fun i ->
+          let n = Wal.truncate_torn ~dir ~shard:i in
+          Printf.printf "shard%d: %s\n" i
+            (if n = 0 then "no torn tail" else "torn tail truncated"))
+        shards
+    else if manifest then
+      List.iter
+        (fun i ->
+          match Wal.manifest ~dir ~shard:i with
+          | Some j -> print_endline (Ei_util.Mini_json.to_string j)
+          | None -> Printf.printf "shard%d: no parseable manifest\n" i)
+        shards
+    else begin
+      let bad = ref 0 in
+      let problem fmt =
+        Printf.ksprintf
+          (fun s ->
+            incr bad;
+            Printf.printf "  PROBLEM: %s\n" s)
+          fmt
+      in
+      List.iter
+        (fun i ->
+          let segs, ckpts, clean = Wal.inspect_shard ~dir ~shard:i in
+          Printf.printf "shard%d: %d segment(s), %d checkpoint(s)%s\n" i
+            (List.length segs) (List.length ckpts)
+            (if clean then ", clean shutdown" else "");
+          let nsegs = List.length segs in
+          List.iteri
+            (fun j s ->
+              if not verify then
+                Printf.printf "  %s: %s, %d byte(s)%s\n"
+                  (Filename.basename s.Wal.si_path)
+                  (if s.Wal.si_frames = 0 then
+                     Printf.sprintf "empty (next lsn %d)" s.Wal.si_first_lsn
+                   else
+                     Printf.sprintf "lsn %d..%d, %d frame(s)"
+                       s.Wal.si_first_lsn s.Wal.si_last_lsn s.Wal.si_frames)
+                  s.Wal.si_bytes
+                  (match s.Wal.si_torn with
+                  | None -> ""
+                  | Some (off, e) ->
+                    Printf.sprintf " — TORN at byte %d (%s)" off e);
+              match s.Wal.si_torn with
+              | Some (off, e) when j < nsegs - 1 ->
+                problem "interior segment %s torn at byte %d (%s)"
+                  (Filename.basename s.Wal.si_path) off e
+              | _ -> ())
+            segs;
+          (* contiguity: each segment resumes where the previous ended *)
+          let rec gaps = function
+            | a :: (b :: _ as rest) ->
+              if
+                a.Wal.si_frames > 0
+                && b.Wal.si_first_lsn <> a.Wal.si_last_lsn + 1
+              then
+                problem "LSN gap: %s ends at %d, %s starts at %d"
+                  (Filename.basename a.Wal.si_path)
+                  a.Wal.si_last_lsn
+                  (Filename.basename b.Wal.si_path)
+                  b.Wal.si_first_lsn;
+              gaps rest
+            | _ -> ()
+          in
+          gaps segs;
+          List.iter
+            (fun c ->
+              if not verify then
+                Printf.printf
+                  "  ckpt %d: lsn %d, %d entries, fingerprint %016x, \
+                   bound %d%s\n"
+                  c.Wal.ci_seq c.Wal.ci_lsn c.Wal.ci_count c.Wal.ci_fingerprint
+                  c.Wal.ci_bound
+                  (match c.Wal.ci_error with
+                  | None -> ""
+                  | Some e -> " — INVALID (" ^ e ^ ")"))
+            ckpts;
+          if ckpts <> [] && List.for_all (fun c -> c.Wal.ci_error <> None) ckpts
+          then problem "every checkpoint is corrupt — no fallback left";
+          (* replay must be able to reach the newest valid checkpoint *)
+          (match
+             ( List.find_opt (fun c -> c.Wal.ci_error = None) ckpts,
+               List.find_opt (fun s -> s.Wal.si_frames > 0) segs )
+           with
+          | Some c, Some s when s.Wal.si_first_lsn > c.Wal.ci_lsn + 1 ->
+            problem
+              "LSN gap after checkpoint %d (covers %d): oldest segment \
+               starts at %d"
+              c.Wal.ci_seq c.Wal.ci_lsn s.Wal.si_first_lsn
+          | _ -> ());
+          if verify && !bad = 0 then Printf.printf "  recoverable\n")
+        shards;
+      if verify then
+        if !bad = 0 then print_endline "wal verify: OK"
+        else begin
+          Printf.printf "wal verify: %d problem(s)\n" !bad;
+          exit 1
+        end
+    end
+  in
+  let term =
+    Term.(const run $ dir_arg $ shard_arg $ verify_arg $ truncate_arg
+          $ manifest_arg)
+  in
+  Cmd.v
+    (Cmd.info "wal"
+       ~doc:"Inspect, verify or repair a durable shard's write-ahead log: \
+             per-segment frame counts and LSN ranges, checkpoint manifests \
+             with validation status, torn-tail detection (--verify) and \
+             repair (--truncate).")
     term
 
 (* --- stats -------------------------------------------------------------- *)
@@ -726,8 +997,8 @@ let sim_cmd =
     Arg.(value & opt string "olc-race"
          & info [ "scenario" ] ~docv:"NAME"
              ~doc:"Scheduler scenario (sched): olc-race, olc-convert-scan, \
-                   olc-multi-find or lost-update (the planted-race \
-                   self-test).")
+                   olc-multi-find, wal-torn, wal-fsync or lost-update (the \
+                   planted-race self-test).")
   in
   let rounds_arg =
     Arg.(value & opt int 50
@@ -959,6 +1230,7 @@ let () =
             check_cmd;
             serve_cmd;
             chaos_cmd;
+            wal_cmd;
             stats_cmd;
             obs_trace_cmd;
             sim_cmd;

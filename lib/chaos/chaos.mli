@@ -26,15 +26,30 @@ type config = {
   rebalance_every : int;
       (** rounds between client-driven rebalances; 0 = off *)
   progress : (string -> unit) option;
+  wal_dir : string option;
+      (** durable shards: group-commit WAL under this root (reset on
+          entry), an fsynced acknowledgement journal beside it, and a
+          post-soak restart check — recover every shard from disk and
+          hold it against the live fleet *)
+  kill_at : int;
+      (** round at which a side domain SIGKILLs the whole process,
+          mid-batch (0 = never).  The run does not return; a fresh
+          process then proves recovery with {!verify}.  Requires
+          [wal_dir]. *)
 }
 
 val default_plan : (string * float) list
 (** Every fault kind the serving layer exposes, at soak-tuned
     probabilities. *)
 
+val default_wal_plan : (string * float) list
+(** {!default_plan} plus the WAL crash sites: torn batch tail and
+    dropped page cache (drawn per group commit), checkpoint corruption
+    (drawn per checkpoint cut, so at a much higher probability). *)
+
 val default_config : seed:int -> config
 (** Full scale, 4 shards, {!default_plan}, 0.5 s deadline, rebalance
-    every 25 rounds, silent. *)
+    every 25 rounds, silent, no WAL. *)
 
 type report = {
   rounds : int;
@@ -56,12 +71,26 @@ type report = {
       (** {!Ei_check} [Error] findings across all shards, post-run *)
   fault_stats : (string * int * int) list;
       (** per-site (name, draws, fired) — the fault schedule *)
+  wal : bool;  (** the soak ran with durable shards *)
+  fp_mismatches : int;
+      (** restart check: shards whose recovered-from-disk fingerprint
+          differs from the live part's *)
+  restart_lost : int;
+      (** restart check: settled-present keys missing after recovery *)
+  restart_phantoms : int;
+  restart_replayed : int;
+  restart_fallbacks : int;  (** corrupt checkpoints skipped *)
+  restart_torn : int;  (** torn tails truncated *)
+  restart_check_errors : int;
+      (** {!Ei_check} errors across the recovered parts *)
 }
 
 val ok : report -> bool
-(** Zero lost, zero phantoms, zero find mismatches, zero check
-    errors.  Unsettled keys and shed (rejected / timed-out) operations
-    are legal under injected faults. *)
+(** Zero lost, zero phantoms, zero find mismatches, zero check errors
+    — and, for durable soaks, a clean restart check: zero fingerprint
+    mismatches, zero keys lost or phantom after recovery from disk.
+    Unsettled keys and shed (rejected / timed-out) operations are
+    legal under injected faults. *)
 
 val run : config -> report
 (** Execute the soak.  Configures the global fault plan on entry and
@@ -72,4 +101,49 @@ val pp_report : Format.formatter -> report -> unit
 
 val schedule_digest : report -> string
 (** The fault schedule and recovery sequence serialised — the value
-    two equal-seed runs must agree on byte-for-byte. *)
+    two equal-seed runs must agree on byte-for-byte.  For durable
+    soaks the digest keeps only the schedule-pure families (crash /
+    poison / queue draws and the recoveries they cause): WAL crash
+    sites draw per group commit, and batch boundaries are wall-clock,
+    so their draw counts — and everything downstream of a WAL-fault
+    recovery — are deliberately outside the replay-equality claim
+    (the durability claims are checked directly instead). *)
+
+(** {1 Fresh-process crash verification}
+
+    The kill -9 protocol: run the soak with [wal_dir] set and
+    [kill_at > 0] — the process SIGKILLs itself mid-batch (expect exit
+    137) — then, from a fresh process, call {!verify} on the same
+    directory.  The journal's intent blocks are fsynced before each
+    round is submitted, so every acknowledged write the journal
+    settles must be recovered; keys of the killed round without a
+    durable outcome are unsettled and skipped. *)
+
+type verify_report = {
+  v_shards : int;
+  v_settled : int;  (** journal keys reconciled (present + absent) *)
+  v_unsettled : int;  (** journal keys skipped as ambiguous *)
+  v_lost : int;
+      (** settled-present keys missing or wrong after recovery — any
+          non-zero value is a lost acknowledged write *)
+  v_phantoms : int;  (** settled-absent keys present after recovery *)
+  v_ckpt_entries : int;
+  v_replayed : int;
+  v_fallbacks : int;  (** corrupt checkpoints skipped *)
+  v_torn : int;  (** torn tails truncated *)
+  v_clean : int;  (** shards whose clean-shutdown marker was present *)
+  v_check_errors : int;
+      (** {!Ei_check} errors across the recovered shards *)
+}
+
+val verify : ?shards:int -> ?key_len:int -> dir:string -> unit -> verify_report
+(** Recover every shard of a (possibly killed) soak from [dir], rebuild
+    the acknowledged-write shadow from the journal, reconcile, and
+    deep-validate.  [shards] and [key_len] must match the soak's
+    config (defaults match {!default_config}).  Run with no fault plan
+    configured. *)
+
+val verify_ok : verify_report -> bool
+(** Zero lost, zero phantoms, zero check errors. *)
+
+val pp_verify : Format.formatter -> verify_report -> unit

@@ -53,6 +53,7 @@ module Invariant = Ei_util.Invariant
 module Metrics = Ei_obs.Metrics
 module Trace = Ei_obs.Trace
 module Clock = Ei_util.Bench_clock
+module Wal = Ei_wal.Wal
 
 (* --- Observability (shared across fleets) ----------------------------- *)
 
@@ -160,6 +161,10 @@ type shard_state = {
      supervisor acts only on current-generation failures *)
   qlock : Mutex.t;  (* quarantined direct access vs. rebuild *)
   faults : shard_faults option;
+  wal_faults : Wal.faults option;
+  (* the WAL writer the shard domain currently owns (captured at spawn,
+     like the part); this slot is supervisor / stop only, like [domain] *)
+  mutable wal : Wal.writer option [@ei.single_domain];
   (* supervisor / stop only *)
   mutable domain : unit Domain.t option [@ei.single_domain];
   (* wedged, never joined; supervisor-only like [domain] *)
@@ -185,6 +190,9 @@ type t = {
   batch : int;
   queue_capacity : int;
   fault_prefix : string option;
+  wal_cfg : Wal.config option;
+  wal_restore : (tid:int -> key:string -> unit) option;
+  wal_boot : (int * Wal.recovery) list;  (* start-time recovery reports *)
   stopping : bool Atomic.t;
   log_lock : Mutex.t;
   (* newest first *)
@@ -285,8 +293,36 @@ let yp_op = Fault.site "serve.yield.op"
 let yp_submit = Fault.site "serve.yield.submit"
 let yp_rebuild = Fault.site "serve.yield.rebuild"
 
-let shard_apply t i ~gen (st : shard_state) part sub =
+let shard_apply t i ~gen (st : shard_state) part ~wal ~defer sub =
   let n = Array.length sub.sops in
+  (* With a WAL, outcomes are group-committed: every result is deferred
+     into [defer] and scattered to its slot only after [Wal.commit]
+     succeeds at the batch boundary, so no outcome — not even one read
+     by a client whose deadline expired mid-batch — is observable
+     before the batch is durable.  Without a WAL the deferral is one
+     [None] branch per result (the append-site cost of durability
+     off). *)
+  let put s v =
+    match defer with
+    | None -> sub.results.(s) <- v
+    | Some buf -> buf := (sub.results, s, v) :: !buf
+  in
+  (* An accepted mutation is framed into the WAL buffer right after the
+     index applied it; rejected or no-op outcomes (r <> 1) log nothing,
+     so replay re-applies exactly the accepted writes.  [Wal.log_*]
+     raises [Died] on a fenced writer, killing the batch like any other
+     domain death. *)
+  let log_write j r =
+    match wal with
+    | None -> ()
+    | Some w ->
+      if r = 1 then (
+        match sub.sops.(j) with
+        | Insert (k, tid) -> Wal.log_insert w k tid
+        | Remove k -> Wal.log_remove w k
+        | Update (k, tid) -> Wal.log_update w k tid
+        | Find _ | Scan _ -> ())
+  in
   let apply_one j =
     let r =
       try
@@ -295,7 +331,8 @@ let shard_apply t i ~gen (st : shard_state) part sub =
         | None -> apply part sub.collect sub.sops.(j)
       with Fault.Injected _ -> rejected_code
     in
-    sub.results.(sub.dest.(j)) <- r
+    log_write j r;
+    put sub.dest.(j) r
   in
   (* Runs of consecutive point reads are deferred and flushed as one
      grouped [multi_find], stable-sorted by key first so the group
@@ -343,7 +380,7 @@ let shard_apply t i ~gen (st : shard_state) part sub =
       | rs ->
         Array.iteri
           (fun x (_, j) ->
-            sub.results.(sub.dest.(j)) <-
+            put sub.dest.(j)
               (match rs.(x) with Some tid -> tid | None -> -1))
           tagged
       | exception Fault.Injected _ ->
@@ -386,7 +423,7 @@ let shard_apply t i ~gen (st : shard_state) part sub =
      raise e);
   flush ()
 
-let shard_loop t i ~gen q =
+let shard_loop t i ~gen ?wal q =
   let st = t.shards.(i) in
   let part = (Shard.parts t.router).(i) in
   (* Complete the waiters of popped-but-unapplied work: the slots stay
@@ -417,46 +454,106 @@ let shard_loop t i ~gen q =
         if t0 <> 0 then
           Metrics.observe h_queue_depth
             (List.length msgs + Mpsc_queue.length q);
-        let rec process = function
-          | [] ->
-            (* Publish the size the coordinator rebalances from.  Every
-               registry index tracks its size in O(1); the elastic OLC
-               tree's tracker is additionally safe under concurrent
-               mutation. *)
-            Atomic.set t.sizes.(i) (part.Index_ops.memory_bytes ());
-            Atomic.incr st.heartbeat;
-            ignore (Atomic.fetch_and_add t.batches (List.length msgs));
-            if t0 <> 0 then begin
-              Metrics.observe h_batch (Clock.now_ns () - t0);
-              Trace.span ev_batch ~start_ns:t0 (List.length msgs)
-            end;
-            loop ()
-          | Set_bound b :: rest ->
-            part.Index_ops.set_size_bound b;
-            process rest
-          | Work sub :: rest -> (
-            match shard_apply t i ~gen st part sub with
-            | () ->
-              complete sub.waiter;
-              process rest
-            | exception Stale_generation ->
-              (* Abandoned mid-batch: stop without parking — the parked
-                 slot belongs to the replacement's world — and fail
-                 whatever was popped but not applied. *)
-              complete sub.waiter;
-              fail_popped rest
-            | exception e ->
-              (* Dying mid-sub: park the failure before waking the
-                 client — a client that observed the timeout must
-                 also observe the fleet as unhealthy until recovery
-                 completes — then let the exception reach the
-                 supervisor.  Applied slots stand; untouched slots
-                 read as timed out. *)
-              park st ~gen e;
-              complete sub.waiter;
-              raise e)
+        let finish_batch () =
+          (* Publish the size the coordinator rebalances from.  Every
+             registry index tracks its size in O(1); the elastic OLC
+             tree's tracker is additionally safe under concurrent
+             mutation. *)
+          Atomic.set t.sizes.(i) (part.Index_ops.memory_bytes ());
+          Atomic.incr st.heartbeat;
+          ignore (Atomic.fetch_and_add t.batches (List.length msgs));
+          if t0 <> 0 then begin
+            Metrics.observe h_batch (Clock.now_ns () - t0);
+            Trace.span ev_batch ~start_ns:t0 (List.length msgs)
+          end;
+          loop ()
         in
-        process msgs
+        match wal with
+        | None ->
+          let rec process = function
+            | [] -> finish_batch ()
+            | Set_bound b :: rest ->
+              part.Index_ops.set_size_bound b;
+              process rest
+            | Work sub :: rest -> (
+              match shard_apply t i ~gen st part ~wal:None ~defer:None sub with
+              | () ->
+                complete sub.waiter;
+                process rest
+              | exception Stale_generation ->
+                (* Abandoned mid-batch: stop without parking — the parked
+                   slot belongs to the replacement's world — and fail
+                   whatever was popped but not applied. *)
+                complete sub.waiter;
+                fail_popped rest
+              | exception e ->
+                (* Dying mid-sub: park the failure before waking the
+                   client — a client that observed the timeout must
+                   also observe the fleet as unhealthy until recovery
+                   completes — then let the exception reach the
+                   supervisor.  Applied slots stand; untouched slots
+                   read as timed out. *)
+                park st ~gen e;
+                complete sub.waiter;
+                raise e)
+          in
+          process msgs
+        | Some w ->
+          (* Group commit: results and acks for the whole drained batch
+             are held back until one [Wal.commit] at the end has made
+             every accepted mutation durable — ack ⇒ framed + fsynced.
+             If the commit (or anything before it) dies, the deferred
+             results are discarded: slots keep the pending sentinel,
+             clients observe [Timed_out], and the supervisor rebuilds
+             the shard from disk — acknowledged and durable stay the
+             same set. *)
+          let defer = ref [] in
+          let acked = ref [] in
+          let release_acks () = List.iter complete (List.rev !acked) in
+          let rec process_wal = function
+            | [] -> (
+              match Wal.commit w ~part with
+              | () ->
+                List.iter
+                  (fun (res, s, v) -> res.(s) <- v)
+                  (List.rev !defer);
+                release_acks ();
+                finish_batch ()
+              | exception e ->
+                (* The batch is applied in memory but not durable: wake
+                   the waiters with their slots untouched (Timed_out)
+                   and let the supervisor replace this part with the
+                   recovered-from-disk one. *)
+                park st ~gen e;
+                release_acks ();
+                raise e)
+            | Set_bound b :: rest -> (
+              part.Index_ops.set_size_bound b;
+              match Wal.log_bound w b with
+              | () -> process_wal rest
+              | exception e ->
+                park st ~gen e;
+                release_acks ();
+                raise e)
+            | Work sub :: rest -> (
+              match shard_apply t i ~gen st part ~wal ~defer:(Some defer) sub with
+              | () ->
+                acked := sub.waiter :: !acked;
+                process_wal rest
+              | exception Stale_generation ->
+                (* Abandoned mid-batch: nothing of this batch was
+                   released, so waking every collected waiter with its
+                   slots still pending is the usual Timed_out path. *)
+                release_acks ();
+                complete sub.waiter;
+                fail_popped rest
+              | exception e ->
+                park st ~gen e;
+                release_acks ();
+                complete sub.waiter;
+                raise e)
+          in
+          process_wal msgs
       end
   in
   try loop ()
@@ -590,35 +687,60 @@ let recover t scfg i ~cause =
   Atomic.set st.status st_quarantined;
   Trace.instant ~a:i ev_quarantine;
   Atomic.incr st.gen;
+  (* Whether the old domain can be joined decides how its WAL writer is
+     retired below: joined ⇒ the domain is gone, the descriptor can be
+     closed ([dispose]); abandoned (wedged, [st.domain] already cleared
+     by the supervisor pass) ⇒ fence only — closing the fd under a
+     zombie could let the OS recycle it for the replacement's segment
+     and misdirect a zombie write into the new log. *)
+  let joined = st.domain <> None in
   (match st.domain with Some d -> Domain.join d | None -> ());
   st.domain <- None;
   drain_and_fail (Atomic.get st.queue);
-  (* [fold_live] over the row table replays exactly the acknowledged
-     writes; rows of other shards may be marked concurrently by their
-     (healthy) domains, but those are filtered out by routing, and
-     this shard's rows are quiescent — its writes are backing off
-     until re-admission.  A transient injected fault from the fresh
-     part is retried until the row lands: a rebuild must not shed
-     acknowledged rows. *)
   let fresh = scfg.rebuild i in
   let rows = ref 0 in
-  Table.fold_live scfg.table
-    (fun tid key () ->
-      if Shard.shard_of_key t.router key = i then begin
-        let rec ins () =
-          match fresh.Index_ops.insert key tid with
-          | _ -> ()
-          | exception Fault.Injected _ ->
-            (* Preemption point on the rebuild retry edge: without it a
-               permanently-armed site spins the supervisor invisibly to
-               the schedule explorer. *)
-            Fault.point yp_rebuild;
-            ins ()
-        in
-        ins ();
-        incr rows
-      end)
-    ();
+  (match t.wal_cfg with
+  | Some wcfg ->
+    (* Durable shard: the WAL, not the row table, is the recovery source
+       of truth — rebuild exactly what was framed and fsynced, the same
+       state a fresh process would recover.  (The in-memory part may be
+       ahead of the log by the batch whose commit died; those ops were
+       never acknowledged, so dropping them here is the contract, not a
+       loss.) *)
+    (match st.wal with
+    | Some oldw -> if joined then Wal.dispose oldw else Wal.fence oldw
+    | None -> ());
+    let w, r =
+      Wal.recover ?faults:st.wal_faults ?restore:t.wal_restore wcfg
+        ~shard:i ~part:fresh
+    in
+    st.wal <- Some w;
+    rows := r.Wal.r_ckpt_entries + r.Wal.r_replayed
+  | None ->
+    (* [fold_live] over the row table replays exactly the acknowledged
+       writes; rows of other shards may be marked concurrently by their
+       (healthy) domains, but those are filtered out by routing, and
+       this shard's rows are quiescent — its writes are backing off
+       until re-admission.  A transient injected fault from the fresh
+       part is retried until the row lands: a rebuild must not shed
+       acknowledged rows. *)
+    Table.fold_live scfg.table
+      (fun tid key () ->
+        if Shard.shard_of_key t.router key = i then begin
+          let rec ins () =
+            match fresh.Index_ops.insert key tid with
+            | _ -> ()
+            | exception Fault.Injected _ ->
+              (* Preemption point on the rebuild retry edge: without it a
+                 permanently-armed site spins the supervisor invisibly to
+                 the schedule explorer. *)
+              Fault.point yp_rebuild;
+              ins ()
+          in
+          ins ();
+          incr rows
+        end)
+      ());
   (Shard.parts t.router).(i) <- fresh;
   Trace.emit ev_rebuild i !rows;
   Atomic.set t.sizes.(i) (fresh.Index_ops.memory_bytes ());
@@ -629,7 +751,8 @@ let recover t scfg i ~cause =
   Atomic.set st.queue q;
   Mutex.unlock st.qlock;
   let gen = Atomic.get st.gen in
-  st.domain <- Some (Domain.spawn (fun () -> shard_loop t i ~gen q));
+  let w = st.wal in
+  st.domain <- Some (Domain.spawn (fun () -> shard_loop t i ~gen ?wal:w q));
   Atomic.set st.status st_running;
   Trace.instant ~a:i ev_readmit;
   Metrics.incr c_recoveries;
@@ -682,7 +805,7 @@ let supervisor_loop t scfg =
 (* --- Lifecycle ------------------------------------------------------- *)
 
 let start ?(queue_capacity = 64) ?(batch = 32) ?coordinator ?supervisor
-    ?fault_prefix ?timeout_s router =
+    ?fault_prefix ?timeout_s ?wal ?wal_restore router =
   let n = Shard.shard_count router in
   let shards =
     Array.init n (fun i ->
@@ -702,9 +825,33 @@ let start ?(queue_capacity = 64) ?(batch = 32) ?coordinator ?supervisor
                   poison = Fault.site (Printf.sprintf "%s.poison.shard%d" p i);
                 }
             | None -> None);
+          wal_faults =
+            (match (wal, fault_prefix) with
+            | Some _, Some p -> Some (Wal.faults ~prefix:p ~shard:i)
+            | _ -> None);
+          wal = None;
           domain = None;
           abandoned = [];
         })
+  in
+  (* With a WAL, every shard recovers from disk before its domain is
+     spawned: newest valid checkpoint plus log replay into the part
+     (which the caller hands over empty), rematerialising table rows
+     through [wal_restore].  On a fresh WAL directory this is a no-op
+     that just opens the first segment. *)
+  let wal_boot =
+    match wal with
+    | None -> []
+    | Some cfg ->
+      let parts = Shard.parts router in
+      List.init n (fun i ->
+          let st = shards.(i) in
+          let w, r =
+            Wal.recover ?faults:st.wal_faults ?restore:wal_restore cfg
+              ~shard:i ~part:parts.(i)
+          in
+          st.wal <- Some w;
+          (i, r))
   in
   let t =
     {
@@ -720,6 +867,9 @@ let start ?(queue_capacity = 64) ?(batch = 32) ?coordinator ?supervisor
       batch;
       queue_capacity;
       fault_prefix;
+      wal_cfg = wal;
+      wal_restore;
+      wal_boot;
       stopping = Atomic.make false;
       log_lock = Mutex.create ();
       log = [];
@@ -732,7 +882,8 @@ let start ?(queue_capacity = 64) ?(batch = 32) ?coordinator ?supervisor
   Array.iteri
     (fun i st ->
       let q = Atomic.get st.queue in
-      st.domain <- Some (Domain.spawn (fun () -> shard_loop t i ~gen:0 q)))
+      let w = st.wal in
+      st.domain <- Some (Domain.spawn (fun () -> shard_loop t i ~gen:0 ?wal:w q)))
     t.shards;
   let aux =
     match coordinator with
@@ -757,7 +908,17 @@ let stop t =
   Array.iter
     (fun st ->
       (match st.domain with Some d -> Domain.join d | None -> ());
-      st.domain <- None)
+      st.domain <- None;
+      (* The domain drained its queue and committed its last batch; a
+         clean close flushes, fsyncs whatever the cadence left pending
+         and writes the clean-shutdown marker the next [recover] reads.
+         A dead writer (the domain died and [stop] raced the
+         supervisor) just releases its descriptor. *)
+      match st.wal with
+      | Some w ->
+        Wal.close w;
+        st.wal <- None
+      | None -> ())
     t.shards
 
 let router t = t.router
@@ -765,6 +926,8 @@ let shard_sizes t = Array.map Atomic.get t.sizes
 let batches t = Atomic.get t.batches
 let rebalances t = Atomic.get t.rebalances
 let recoveries t = Atomic.get t.recoveries_n
+
+let wal_recoveries t = t.wal_boot
 
 let recovery_log t =
   Mutex.lock t.log_lock;

@@ -24,10 +24,21 @@
     fresh domain re-admitted.  Recovery never loses an acknowledged
     write: only applied operations mark the table.
 
+    Durability (optional): [start ~wal:cfg] gives every shard a
+    {!Ei_wal.Wal} writer.  Mutations are framed as they apply and
+    group-committed once per drained batch; results and waiter
+    completions are withheld until the commit returns, so {e ack ⇒
+    framed + fsynced} (at the default cadence).  On [start] and on
+    every supervised recovery the part is rebuilt from disk — newest
+    valid fingerprinted checkpoint plus log replay — instead of from
+    the row table, which makes acknowledged writes survive process
+    death, not just domain death.
+
     Fault injection ({!Ei_fault.Fault}): [start ~fault_prefix:p] arms
     sites [p.crash.shard<i>], [p.poison.shard<i>] and
     [p.queue.shard<i>.{drop,delay,refuse}] — all inert until a fault
-    plan is configured. *)
+    plan is configured.  With a WAL, additionally
+    [p.wal.{torn,fsync,ckpt}.shard<i>] (see {!Ei_wal.Wal.faults}). *)
 
 type op =
   | Insert of string * int
@@ -110,6 +121,8 @@ val start :
   ?supervisor:supervisor_config ->
   ?fault_prefix:string ->
   ?timeout_s:float ->
+  ?wal:Ei_wal.Wal.config ->
+  ?wal_restore:(tid:int -> key:string -> unit) ->
   Shard.t ->
   t
 (** Spawn one domain per shard (plus the coordinator and supervisor
@@ -117,12 +130,22 @@ val start :
     request queue (producers block when full); [batch] caps the
     sub-batches drained per wakeup; [fault_prefix] arms the injection
     sites; [timeout_s] is the default {!exec} deadline (none: block
-    until applied). *)
+    until applied).
+
+    [wal] makes the shards durable: before any domain is spawned,
+    every part — which must be handed over {e empty} — is recovered
+    from [wal.dir] ({!Ei_wal.Wal.recover}), with [wal_restore] invoked
+    per recovered [(tid, key)] so the caller can rematerialise
+    backing-store rows ({!Ei_storage.Table.restore_row}).  Crash
+    recovery of a WAL fault requires a [supervisor] (the domain dies
+    and must be rebuilt from disk); a WAL without a supervisor is
+    fine for clean stop/start durability. *)
 
 val stop : t -> unit
 (** Join the coordinator and supervisor, close the queues, drain
-    remaining work, join all shard domains.  The underlying indexes
-    remain usable single-threaded afterwards. *)
+    remaining work, join all shard domains, and cleanly close the WAL
+    writers (final fsync + clean-shutdown marker).  The underlying
+    indexes remain usable single-threaded afterwards. *)
 
 val exec :
   ?collect:(string -> unit) ->
@@ -170,8 +193,13 @@ val recoveries : t -> int
 
 val recovery_log : t -> (int * string * int) list
 (** Completed recoveries, oldest first: shard index, cause (printed
-    exception or wedge diagnosis), live rows reinserted from the row
-    table. *)
+    exception or wedge diagnosis), rows reinserted (from the row table,
+    or from checkpoint + replay when a WAL is configured). *)
+
+val wal_recoveries : t -> (int * Ei_wal.Wal.recovery) list
+(** Per-shard start-time WAL recovery reports ([[]] without a WAL):
+    checkpoint loaded, records replayed, torn tails truncated, clean
+    marker seen. *)
 
 val quarantined : t -> bool array
 (** Per-shard quarantine flags (racy snapshot: a shard may be

@@ -1,252 +1,8 @@
-(* Minimal JSON reader/writer for simulation artifacts.
+(* Compatibility re-export.
 
-   The repository deliberately has no JSON dependency; benches emit
-   JSON-Lines by hand.  Artifacts additionally need to be *read back*
-   (`ei sim --replay`), so this module carries the small value type and
-   a recursive-descent parser for exactly the JSON the writer emits:
-   objects, arrays, strings with standard escapes, integers, floats,
-   booleans and null. *)
+   Mini_json moved to ei_util so layers below the simulator (ei_wal
+   checkpoint manifests, CLI inspectors) can read and write JSON
+   without depending on ei_sim.  Existing users of [Ei_sim.Mini_json]
+   keep working through this alias. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
-
-(* --- Writing --------------------------------------------------------- *)
-
-let escape buf s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s
-
-let rec emit buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f ->
-    (* %.17g round-trips every float; normalise infinities/nans away
-       (they cannot occur in artifacts, but never emit invalid JSON). *)
-    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
-    else Buffer.add_string buf "0"
-  | Str s ->
-    Buffer.add_char buf '"';
-    escape buf s;
-    Buffer.add_char buf '"'
-  | List xs ->
-    Buffer.add_char buf '[';
-    List.iteri
-      (fun i x ->
-        if i > 0 then Buffer.add_char buf ',';
-        emit buf x)
-      xs;
-    Buffer.add_char buf ']'
-  | Obj fields ->
-    Buffer.add_char buf '{';
-    List.iteri
-      (fun i (k, v) ->
-        if i > 0 then Buffer.add_char buf ',';
-        Buffer.add_char buf '"';
-        escape buf k;
-        Buffer.add_string buf "\":";
-        emit buf v)
-      fields;
-    Buffer.add_char buf '}'
-
-let to_string v =
-  let buf = Buffer.create 256 in
-  emit buf v;
-  Buffer.contents buf
-
-(* --- Parsing --------------------------------------------------------- *)
-
-exception Bad of int * string
-
-let parse (s : string) : (t, string) result =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let fail msg = raise (Bad (!pos, msg)) in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when Char.equal c c' -> advance ()
-    | _ -> fail (Printf.sprintf "expected %C" c)
-  in
-  let literal word v =
-    let l = String.length word in
-    if !pos + l <= n && String.equal (String.sub s !pos l) word then begin
-      pos := !pos + l;
-      v
-    end
-    else fail (Printf.sprintf "expected %s" word)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' ->
-        advance ();
-        (match peek () with
-        | Some '"' -> Buffer.add_char buf '"'; advance ()
-        | Some '\\' -> Buffer.add_char buf '\\'; advance ()
-        | Some '/' -> Buffer.add_char buf '/'; advance ()
-        | Some 'n' -> Buffer.add_char buf '\n'; advance ()
-        | Some 'r' -> Buffer.add_char buf '\r'; advance ()
-        | Some 't' -> Buffer.add_char buf '\t'; advance ()
-        | Some 'b' -> Buffer.add_char buf '\b'; advance ()
-        | Some 'f' -> Buffer.add_char buf '\012'; advance ()
-        | Some 'u' ->
-          advance ();
-          if !pos + 4 > n then fail "truncated \\u escape";
-          let hex = String.sub s !pos 4 in
-          (match int_of_string_opt ("0x" ^ hex) with
-          | Some code ->
-            (* Artifacts only escape control bytes, which fit a char;
-               anything larger degrades to '?' rather than failing. *)
-            Buffer.add_char buf
-              (if code < 256 then Char.chr code else '?');
-            pos := !pos + 4
-          | None -> fail "bad \\u escape")
-        | _ -> fail "bad escape");
-        go ()
-      | Some c ->
-        Buffer.add_char buf c;
-        advance ();
-        go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char c =
-      match c with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c -> is_num_char c | None -> false) do
-      advance ()
-    done;
-    let tok = String.sub s start (!pos - start) in
-    let is_float =
-      String.exists (fun c -> Char.equal c '.' || Char.equal c 'e' || Char.equal c 'E') tok
-    in
-    if is_float then
-      match float_of_string_opt tok with
-      | Some f -> Float f
-      | None -> fail (Printf.sprintf "bad number %S" tok)
-    else
-      match int_of_string_opt tok with
-      | Some i -> Int i
-      | None -> fail (Printf.sprintf "bad number %S" tok)
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | None -> fail "unexpected end of input"
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if (match peek () with Some '}' -> true | _ -> false) then begin
-        advance ();
-        Obj []
-      end
-      else begin
-        let rec fields acc =
-          skip_ws ();
-          let k = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            fields ((k, v) :: acc)
-          | Some '}' ->
-            advance ();
-            Obj (List.rev ((k, v) :: acc))
-          | _ -> fail "expected ',' or '}'"
-        in
-        fields []
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if (match peek () with Some ']' -> true | _ -> false) then begin
-        advance ();
-        List []
-      end
-      else begin
-        let rec elems acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            elems (v :: acc)
-          | Some ']' ->
-            advance ();
-            List (List.rev (v :: acc))
-          | _ -> fail "expected ',' or ']'"
-        in
-        elems []
-      end
-    | Some '"' -> Str (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> parse_number ()
-  in
-  match
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing garbage";
-    v
-  with
-  | v -> Ok v
-  | exception Bad (at, msg) ->
-    Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
-
-(* --- Accessors -------------------------------------------------------- *)
-
-let member name = function
-  | Obj fields ->
-    List.find_map
-      (fun (k, v) -> if String.equal k name then Some v else None)
-      fields
-  | _ -> None
-
-let as_int = function Int i -> Some i | _ -> None
-
-let as_float = function
-  | Float f -> Some f
-  | Int i -> Some (float_of_int i)
-  | _ -> None
-
-let as_str = function Str s -> Some s | _ -> None
-let as_bool = function Bool b -> Some b | _ -> None
-let as_list = function List xs -> Some xs | _ -> None
+include Ei_util.Mini_json

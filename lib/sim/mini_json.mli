@@ -1,33 +1,8 @@
-(** Minimal JSON value type, writer and parser for simulation
-    artifacts.
+(** Re-export of {!Ei_util.Mini_json} (the module moved to [ei_util]
+    so that [ei_wal] checkpoint manifests can use it without a
+    dependency on the simulator).  Kept so [Ei_sim.Mini_json] remains
+    a valid path for artifact tooling. *)
 
-    The repository has no JSON dependency; this covers exactly the
-    subset the [.sim.json] artifacts use — objects, arrays, strings
-    with standard escapes, integers, floats, booleans, null. *)
-
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
-
-val to_string : t -> string
-(** Compact serialisation (valid JSON; strings escaped). *)
-
-val parse : string -> (t, string) result
-(** Parse a complete JSON document; [Error] carries the byte position
-    of the failure. *)
-
-val member : string -> t -> t option
-(** Field of an object, [None] on missing field or non-object. *)
-
-val as_int : t -> int option
-val as_float : t -> float option
-(** Also accepts an [Int] (JSON does not distinguish). *)
-
-val as_str : t -> string option
-val as_bool : t -> bool option
-val as_list : t -> t list option
+include module type of struct
+  include Ei_util.Mini_json
+end

@@ -30,6 +30,7 @@ module Table = Ei_storage.Table
 module Index_ops = Ei_harness.Index_ops
 module Registry = Ei_harness.Registry
 module Olc = Ei_olc.Btree_olc
+module Wal = Ei_wal.Wal
 module J = Mini_json
 
 (* --- Subjects --------------------------------------------------------- *)
@@ -448,11 +449,163 @@ let olc_multi_find_scenario () =
   in
   { Sched.fibers = [| ("churn", churn); ("batch", reader) |]; check }
 
+(* A WAL writer racing a crash lever under schedule exploration: the
+   durability-prefix contract of {!Ei_wal.Wal}.  One fiber applies a
+   fixed op tape (inserts, removes, in-place updates, elastic bound
+   retunes) to a live part while logging every mutation, group-
+   committing every 4 ops; a crasher fiber pauses a few times and then
+   fires a deterministic crash lever — [crash_torn] (the batch tail
+   never reaches the file) or [crash_unsynced] (everything since the
+   last fsync lived only in the page cache).  Where the crash lands
+   relative to the writer's commits is exactly what the scheduler
+   explores.
+
+   The check recovers the shard from disk into a fresh part and demands
+   that the recovered state is a *prefix* of the logged history: its
+   fingerprint must equal the shadow oracle's fingerprint at LSN
+   [r_last_lsn], and that LSN must lie in the window
+   [durable-at-crash, appended-at-crash] — below the window an fsynced
+   (hence acknowledgeable) record was lost; above it recovery invented
+   records.  The recovered elastic bound is held to the same prefix.
+   [wal-torn] runs with fsync_every = 1 (ack => durable: the window
+   floor is every committed op); [wal-fsync] runs with fsync_every = 3,
+   so committed-but-unsynced batches legally vanish and the window is
+   genuinely wide. *)
+let wal_crash_scenario ~label ~fsync_every ~crash () =
+  let key_len = 8 in
+  let table = Table.create ~key_len () in
+  let n = 40 in
+  let keys = Array.init n Key.of_int in
+  let tids = Array.map (fun k -> Table.append table k) keys in
+  (* second row per key, so updates remap to a real, distinct tid *)
+  let alt = Array.map (fun k -> Table.append table k) keys in
+  let mk_part name table =
+    Registry.make ~name ~key_len ~load:(Table.loader table)
+      (Registry.Elastic
+         (Ei_core.Elasticity.default_config ~size_bound:(1 lsl 20)))
+  in
+  let part = mk_part (label ^ "-live") table in
+  let shadow = Oracle.create ~key_len () in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ei-sim-%d-%s" (Unix.getpid ()) label)
+  in
+  Wal.reset_dir dir;
+  let cfg =
+    {
+      (Wal.default_config ~dir) with
+      Wal.fsync_every;
+      checkpoint_every = 4;
+      segment_bytes = 1024;  (* force rotation inside a 40-op tape *)
+    }
+  in
+  let w, _ = Wal.recover cfg ~shard:0 ~part in
+  (* shadow fingerprint and expected elastic bound per LSN (dense,
+     1-based, at most 4 records per tape step): the oracle prefix
+     states the recovered part must land on *)
+  let max_lsn = 4 * n in
+  let recorded = Array.make (max_lsn + 1) false in
+  let fps = Array.make (max_lsn + 1) 0 in
+  let bnds = Array.make (max_lsn + 1) 0 in
+  let bound_now = ref 0 in
+  recorded.(0) <- true;
+  fps.(0) <- Index_ops.fingerprint shadow;
+  let record () =
+    let l = Wal.last_lsn w in
+    recorded.(l) <- true;
+    fps.(l) <- Index_ops.fingerprint shadow;
+    bnds.(l) <- !bound_now
+  in
+  let crash_at = ref None in
+  let writer () =
+    try
+      for i = 0 to n - 1 do
+        if i mod 10 = 5 then begin
+          let b = if i mod 20 = 5 then 512 else 1 lsl 20 in
+          Wal.log_bound w b;
+          part.Index_ops.set_size_bound b;
+          bound_now := b;
+          record ()
+        end;
+        Wal.log_insert w keys.(i) tids.(i);
+        ignore (part.Index_ops.insert keys.(i) tids.(i));
+        ignore (shadow.Index_ops.insert keys.(i) tids.(i));
+        record ();
+        if i mod 5 = 3 then begin
+          Wal.log_remove w keys.(i - 2);
+          ignore (part.Index_ops.remove keys.(i - 2));
+          ignore (shadow.Index_ops.remove keys.(i - 2));
+          record ()
+        end;
+        if i mod 7 = 6 then begin
+          Wal.log_update w keys.(i - 1) alt.(i - 1);
+          ignore (part.Index_ops.update keys.(i - 1) alt.(i - 1));
+          ignore (shadow.Index_ops.update keys.(i - 1) alt.(i - 1));
+          record ()
+        end;
+        if i mod 4 = 3 then Wal.commit w ~part;
+        Sched.pause ()
+      done
+    with Wal.Died _ -> ()
+  in
+  let crasher () =
+    Sched.pause ();
+    Sched.pause ();
+    Sched.pause ();
+    crash_at := Some (Wal.durable_lsn w, Wal.last_lsn w);
+    try crash w with Wal.Died _ -> ()
+  in
+  let check () =
+    let durable, appended =
+      match !crash_at with
+      | Some x -> x
+      | None -> Invariant.broken (label ^ ": crash lever never fired")
+    in
+    Wal.dispose w;
+    let rtable = Table.create ~key_len () in
+    let fresh = mk_part (label ^ "-recovered") rtable in
+    let w2, r =
+      Wal.recover cfg ~shard:0
+        ~restore:(fun ~tid ~key -> Table.restore_row rtable ~tid ~key)
+        ~part:fresh
+    in
+    Wal.close w2;
+    if r.Wal.r_clean then
+      Invariant.brokenf "%s: clean-shutdown marker present after a crash"
+        label;
+    if r.Wal.r_last_lsn < durable then
+      Invariant.brokenf "%s: durable record lost: recovered to LSN %d < %d"
+        label r.Wal.r_last_lsn durable;
+    if r.Wal.r_last_lsn > appended then
+      Invariant.brokenf "%s: recovered past the append horizon: %d > %d"
+        label r.Wal.r_last_lsn appended;
+    let l = r.Wal.r_last_lsn in
+    if l > max_lsn || not recorded.(l) then
+      Invariant.brokenf "%s: recovered to an unknown LSN %d" label l;
+    if Index_ops.fingerprint fresh <> fps.(l) then
+      Invariant.brokenf
+        "%s: recovered state is not the LSN-%d prefix of the history" label l;
+    if r.Wal.r_bound <> bnds.(l) then
+      Invariant.brokenf "%s: recovered bound %d, prefix says %d" label
+        r.Wal.r_bound bnds.(l)
+  in
+  { Sched.fibers = [| ("writer", writer); ("crash", crasher) |]; check }
+
+let wal_torn_scenario () =
+  wal_crash_scenario ~label:"wal-torn" ~fsync_every:1 ~crash:Wal.crash_torn ()
+
+let wal_fsync_scenario () =
+  wal_crash_scenario ~label:"wal-fsync" ~fsync_every:3
+    ~crash:Wal.crash_unsynced ()
+
 let () =
   register_scenario "lost-update" lost_update_scenario;
   register_scenario "olc-race" olc_race_scenario;
   register_scenario "olc-convert-scan" olc_convert_scan_scenario;
-  register_scenario "olc-multi-find" olc_multi_find_scenario
+  register_scenario "olc-multi-find" olc_multi_find_scenario;
+  register_scenario "wal-torn" wal_torn_scenario;
+  register_scenario "wal-fsync" wal_fsync_scenario
 
 (* --- Serve exploration ------------------------------------------------ *)
 

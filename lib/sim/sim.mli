@@ -85,7 +85,11 @@ val scenario_names : unit -> string list
     straddling compact/standard leaf boundaries during in-place
     conversions — the elasticity §4 edge), ["olc-multi-find"] (batched
     group descents interleaved with churn and conversions: per-cursor
-    OLC restarts, checked bit-equivalent to a sequential find loop). *)
+    OLC restarts, checked bit-equivalent to a sequential find loop),
+    ["wal-torn"] and ["wal-fsync"] (a group-committing WAL writer
+    racing a deterministic crash lever — torn batch tail / dropped page
+    cache; recovery from disk must land on an exact prefix of the
+    logged history, no lower than the fsynced horizon at the crash). *)
 
 (** {2 Serve exploration (perturbation engine)} *)
 

@@ -112,6 +112,20 @@ let fold_live t f init =
   done;
   !acc
 
+(* WAL recovery rematerialises rows at the tids the log recorded, in a
+   fresh process where [append] never ran.  Single-writer (the
+   recovering domain), like [append].  Gap rows (tids never mentioned
+   by any surviving record) keep the empty key and stay dead, so they
+   are invisible to [fold_live] and unreachable from any index. *)
+let restore_row t ~tid ~key =
+  assert (tid >= 0 && String.length key = t.key_len);
+  while tid >= Array.length t.keys do
+    grow t
+  done;
+  t.keys.(tid) <- key;
+  if tid >= t.n then t.n <- tid + 1;
+  mark_live t tid
+
 (* Size of the row data itself (excluding any index), for the dataset-size
    baselines of §6.3: row payloads are fixed-size. *)
 let data_bytes ?(row_bytes = 0) t = t.n * (t.key_len + row_bytes)

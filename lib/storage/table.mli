@@ -45,5 +45,12 @@ val is_live : t -> int -> bool
 val fold_live : t -> (int -> string -> 'a -> 'a) -> 'a -> 'a
 (** Fold [f tid key acc] over the live rows in tid order. *)
 
+val restore_row : t -> tid:int -> key:string -> unit
+(** Rematerialise the row at [tid] with [key] and mark it live: the
+    {!Ei_wal} recovery path, which replays records holding tids from a
+    previous process where the matching {!append}s never ran.  Grows
+    the table as needed; intervening gap rows stay dead with an empty
+    key.  Single-writer, like {!append}. *)
+
 val data_bytes : ?row_bytes:int -> t -> int
 (** Size of the stored row data: [n * (key_len + row_bytes)]. *)

@@ -1,0 +1,33 @@
+(** Minimal JSON value type, writer and parser for simulation
+    artifacts.
+
+    The repository has no JSON dependency; this covers exactly the
+    subset the [.sim.json] artifacts use — objects, arrays, strings
+    with standard escapes, integers, floats, booleans, null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact serialisation (valid JSON; strings escaped). *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; [Error] carries the byte position
+    of the failure. *)
+
+val member : string -> t -> t option
+(** Field of an object, [None] on missing field or non-object. *)
+
+val as_int : t -> int option
+val as_float : t -> float option
+(** Also accepts an [Int] (JSON does not distinguish). *)
+
+val as_str : t -> string option
+val as_bool : t -> bool option
+val as_list : t -> t list option

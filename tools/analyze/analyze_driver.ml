@@ -3,7 +3,10 @@
    the text/JSON renderings. *)
 
 let default_roots =
-  [ "lib/olc"; "lib/shard"; "lib/core"; "lib/fault"; "lib/obs"; "lib/btree" ]
+  [
+    "lib/olc"; "lib/shard"; "lib/core"; "lib/fault"; "lib/obs"; "lib/btree";
+    "lib/wal";
+  ]
 
 let rec collect path acc =
   if Sys.is_directory path then
