@@ -115,15 +115,27 @@ let emit_mops_q ?quantiles ~name ~params ~mops:m ~bytes () =
 
 (* Benchmarks run with the registry disabled by default, so the recorded
    throughput is the obs-compiled-but-off configuration EXPERIMENTS.md
-   tracks.  EI_OBS=1 turns the metrics registry on for the whole driver
-   run; phase histograms then feed the [p50_ns]/[p99_ns]/[p999_ns]
-   fields of emitted records. *)
+   tracks.  EI_OBS=1 turns the whole observability stack on for the
+   driver run: the metrics registry (phase histograms then feed the
+   [p50_ns]/[p99_ns]/[p999_ns] fields of emitted records), the trace
+   ring with span contexts, and the telemetry timeline — drivers that
+   cut phase frames ({!phase_capture}) and dump artifacts do so only
+   under this flag. *)
 let obs_enabled =
   match Sys.getenv_opt "EI_OBS" with
   | Some ("1" | "true" | "yes") -> true
   | Some _ | None -> false
 
-let () = if obs_enabled then Ei_obs.Metrics.set_enabled true
+let () =
+  if obs_enabled then begin
+    Ei_obs.Metrics.set_enabled true;
+    Ei_obs.Trace.set_enabled true;
+    Ei_obs.Timeline.set_enabled true
+  end
+
+(* Cut a timeline frame at a phase boundary (no-op when EI_OBS unset). *)
+let phase_capture label =
+  if obs_enabled then Ei_obs.Timeline.capture ~label ()
 
 (* Start a measurement phase feeding histogram [h] (clears samples left
    by earlier phases or warmup). *)

@@ -19,8 +19,15 @@ module Olc = Ei_olc.Btree_olc
 module Shard = Ei_shard.Shard
 module Serve = Ei_shard.Serve
 module Rng = Ei_util.Rng
+module Wal = Ei_wal.Wal
 
 let shard_counts = [ 1; 2; 4; 8 ]
+
+(* EI_WAL=dir runs every fleet durable: group-commit WAL under
+   dir/shards<N> (reset per fleet), so an EI_OBS=1 run's trace shows
+   the full serve → shard → tree → WAL commit flow.  Unset = the
+   in-memory configuration EXPERIMENTS.md tracks. *)
+let wal_base = Sys.getenv_opt "EI_WAL"
 
 (* Client-side sub-batch size; Serve re-partitions each batch by shard. *)
 let batch = 512
@@ -94,10 +101,18 @@ let run () =
   List.iter
     (fun shards ->
       let table, router = elastic_fleet ~shards ~global_bound in
+      let wal =
+        Option.map
+          (fun base ->
+            let dir = Filename.concat base (Printf.sprintf "shards%d" shards) in
+            Wal.reset_dir dir;
+            Wal.default_config ~dir)
+          wal_base
+      in
       let serve =
         Serve.start
           ~coordinator:(Serve.default_coordinator ~global_bound)
-          router
+          ?wal router
       in
       (* Load: pre-append to the shared table, insert through the queues. *)
       let tids = Array.make record_count 0 in
@@ -114,6 +129,7 @@ let run () =
         mops record_count (fun () -> shed := !shed + run_batches serve load_ops)
       in
       let load_q = phase_quantiles h_batch in
+      phase_capture (Printf.sprintf "load/%d" shards);
       (* Uniform point reads (workload C shape). *)
       let rng = domain_rng 0 in
       let read_ops =
@@ -125,6 +141,7 @@ let run () =
         mops ops (fun () -> shed := !shed + run_batches serve read_ops)
       in
       let read_q = phase_quantiles h_batch in
+      phase_capture (Printf.sprintf "read/%d" shards);
       (* Short scans from uniform starts; a scan landing near the top of
          a shard's range continues into the next shard (workload E
          shape).  Throughput is entries visited per second. *)
@@ -140,6 +157,7 @@ let run () =
             shed := !shed + run_batches serve scan_ops)
       in
       let scan_q = phase_quantiles h_batch in
+      phase_capture (Printf.sprintf "scan/%d" shards);
       (* Churn: 50 % reads, 25 % inserts of fresh keys, 25 % removes of
          the oldest fresh key (falling back to updates before any fresh
          insert has landed), so the record count stays near constant
@@ -179,6 +197,7 @@ let run () =
         mops ops (fun () -> shed := !shed + run_batches serve churn_ops)
       in
       let churn_q = phase_quantiles h_batch in
+      phase_capture (Printf.sprintf "churn/%d" shards);
       (* Bound check: after one final coordinator pass the aggregate
          tracked bytes must respect the global soft bound (+10 %
          tolerance for in-flight splits). *)
@@ -228,4 +247,14 @@ let run () =
   pf
     "note: this machine reports %d core(s); with a single core the shard\n\
      domains timeshare it and aggregate throughput stays flat\n%!"
-    (Domain.recommended_domain_count ())
+    (Domain.recommended_domain_count ());
+  (* EI_OBS=1 artifacts: the causal trace (one client op renders as a
+     serve → shard → tree → WAL flow in Perfetto when EI_WAL is also
+     set) and the timeline frame ring cut at the phase boundaries
+     above. *)
+  if obs_enabled then begin
+    Ei_obs.Trace.write_json "fig6_par.trace.json";
+    Ei_obs.Timeline.write_jsonl "fig6_par.timeline.jsonl";
+    pf "wrote fig6_par.trace.json (%d events) and fig6_par.timeline.jsonl\n%!"
+      (Ei_obs.Trace.events ())
+  end

@@ -19,6 +19,11 @@
      trace  — run a sharded YCSB workload with the ei_obs trace ring on,
               slash the global bound mid-churn, and dump a Chrome
               trace_events JSON (chrome://tracing / Perfetto)
+     timeline — same fleet shape with the telemetry timeline on; dump
+              the frame ring (op-mix deltas, gauges, windowed latency
+              quantiles) as JSON-Lines
+     top    — live per-shard telemetry view refreshed from the newest
+              timeline frame (--once for a single CI-friendly render)
      analyze — run the ei_race concurrency-discipline static analyzer
               over the libraries' typedtrees (.cmt files)
      sim    — deterministic simulation testing ({!Ei_sim}): differential
@@ -34,6 +39,8 @@
      ei serve --shards 4 --records 100000 --ops 200000 --bound 60
      ei stats --index elastic --workload A --json
      ei trace --shards 2 --records 50000 --ops 100000 --out ei.trace.json
+     ei timeline --shards 2 --out ei.timeline.jsonl
+     ei top --shards 4 --interval 0.5
      ei chaos --scale 0.1 --wal-dir /tmp/ei-wal
      ei wal --dir /tmp/ei-wal --verify
      ei sim diff --a oracle --b olc-elastic --gen elastic --ops 40000
@@ -539,11 +546,28 @@ let chaos_cmd =
           kill_at;
         }
       in
+      (* Failure artifacts: trace ring on and flight recorder armed, so
+         a quarantine or WAL commit failure mid-soak dumps the events
+         (and fault draws) leading up to it as ei-*.flight.json. *)
+      Ei_obs.Trace.set_enabled true;
+      Ei_obs.Flight.arm ~dir:"." ();
       let report = Chaos.run cfg in
       Format.printf "%a%!" Chaos.pp_report report;
-      if Chaos.ok report then print_endline "chaos soak: OK"
+      if Chaos.ok report then begin
+        Ei_obs.Flight.disarm ();
+        print_endline "chaos soak: OK"
+      end
       else begin
+        (* Re-arm first: routine injected-crash quarantines may have
+           spent the dump cap; the end-state artifact must still land. *)
+        Ei_obs.Flight.arm ~dir:"." ();
+        Ei_obs.Flight.trigger ~reason:"chaos-failed"
+          ~detail:(Format.asprintf "%a" Chaos.pp_report report);
+        Ei_obs.Flight.disarm ();
         print_endline "chaos soak: FAILED";
+        (match Ei_obs.Flight.last_dump () with
+        | Some p -> Printf.printf "flight dump: %s\n" p
+        | None -> ());
         Printf.printf
           "reproduce with: ei chaos --seed %d --scale %g --shards %d%s\n" seed
           scale shards
@@ -767,9 +791,12 @@ let stats_cmd =
     | Error (`Msg m) -> prerr_endline m; exit 2
     | Ok kind ->
       Metrics.set_enabled true;
+      (* Tracing on too: per-op root contexts feed the histogram
+         exemplars, so --json can name the trace behind a p999. *)
+      Ei_obs.Trace.set_enabled true;
       let table = Table.create ~key_len:8 () in
       let index = Registry.make ~key_len:8 ~load:(Table.loader table) kind in
-      let observed = Index_ops.observed ~prefix:"op" index in
+      let observed = Index_ops.traced (Index_ops.observed ~prefix:"op" index) in
       let runner = Ycsb.create ~index:observed ~table ~record_count:records () in
       let (), load_dt = Clock.time (fun () -> Ycsb.load runner records) in
       let dist = if zipfian then Ycsb.Zipfian else Ycsb.Uniform in
@@ -937,6 +964,321 @@ let obs_trace_cmd =
              global bound mid-churn, and dump Chrome trace_events JSON.")
     term
 
+(* --- timeline / top ------------------------------------------------------ *)
+
+(* Shared fleet driver for the timeline-centric commands: the same
+   sharded YCSB load / churn / mid-flight bound slash / churn shape as
+   [ei trace], with a [phase] callback at every boundary so the caller
+   can cut timeline frames (ei timeline) or refresh a live view (ei
+   top), and an optional WAL so the captured flows include the
+   durability leg.  Each [phase l] call closes the window named [l]. *)
+let run_obs_fleet ~shards ~records ~ops ~update_pct ~pct ~seed ?wal_dir ~phase
+    () =
+  let module Olc = Ei_olc.Btree_olc in
+  let module Shard = Ei_shard.Shard in
+  let module Serve = Ei_shard.Serve in
+  let module Wal = Ei_wal.Wal in
+  let global_bound = records * 27 * pct / 100 in
+  let table = Table.create ~key_len:8 () in
+  let load =
+    Olc.safe_loader ~key_len:8
+      ~table_length:(fun () -> Table.length table)
+      ~load:(Table.loader table)
+  in
+  let parts =
+    Array.init shards (fun i ->
+        Registry.make
+          ~name:(Printf.sprintf "olc-elastic/%d" i)
+          ~key_len:8 ~load
+          (Registry.Olc
+             (Olc.Olc_elastic
+                (Olc.default_elastic_config
+                   ~size_bound:(max 1 (global_bound / shards))))))
+  in
+  let router = Shard.create parts in
+  let wal = Option.map (fun dir -> Wal.default_config ~dir) wal_dir in
+  let serve =
+    Serve.start ?wal
+      ?wal_restore:
+        (Option.map
+           (fun _ ~tid ~key -> Table.restore_row table ~tid ~key)
+           wal)
+      router
+  in
+  let shed = ref 0 in
+  let batched a =
+    let n = Array.length a in
+    let i = ref 0 in
+    while !i < n do
+      let len = min 512 (n - !i) in
+      Array.iter
+        (function
+          | Serve.Applied _ -> ()
+          | Serve.Rejected | Serve.Timed_out -> incr shed)
+        (Serve.exec serve (Array.sub a !i len));
+      i := !i + len
+    done
+  in
+  let tids = Array.make records 0 in
+  for s = 0 to records - 1 do
+    tids.(s) <- Table.append table (Ycsb.key_of_seq s)
+  done;
+  batched
+    (Array.init records (fun s -> Serve.Insert (Ycsb.key_of_seq s, tids.(s))));
+  Serve.rebalance_with serve (Serve.default_coordinator ~global_bound);
+  phase "load";
+  let rng = Ei_util.Rng.stream seed 0 in
+  let churn n =
+    batched
+      (Array.init n (fun _ ->
+           let s = Ei_util.Rng.int rng records in
+           if Ei_util.Rng.int rng 100 < update_pct then
+             Serve.Update (Ycsb.key_of_seq s, tids.(s))
+           else Serve.Find (Ycsb.key_of_seq s)))
+  in
+  churn (ops / 2);
+  phase "churn";
+  Serve.rebalance_with serve
+    (Serve.default_coordinator ~global_bound:(max 1 (global_bound / 2)));
+  churn (ops - (ops / 2));
+  phase "churn-slashed";
+  Serve.stop serve;
+  phase "drain";
+  !shed
+
+let update_pct_of_workload w =
+  match String.uppercase_ascii w with
+  | "A" -> 50
+  | "B" -> 5
+  | "C" -> 0
+  | w -> Printf.ksprintf failwith "unknown workload %s (want A, B or C)" w
+
+let obs_timeline_cmd =
+  let module Metrics = Ei_obs.Metrics in
+  let module Trace = Ei_obs.Trace in
+  let module Timeline = Ei_obs.Timeline in
+  let shards_arg =
+    Arg.(value & opt int 2 & info [ "shards" ] ~doc:"Shard domains to spawn.")
+  in
+  let records_arg =
+    Arg.(value & opt int 50_000 & info [ "records" ] ~doc:"Records to load.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 100_000 & info [ "ops" ] ~doc:"Churn operations.")
+  in
+  let bound_arg =
+    Arg.(value & opt int 60
+         & info [ "bound" ]
+             ~doc:"Global soft memory bound as a percentage of the \
+                   unconstrained BTreeOLC estimate for the load; halved \
+                   mid-churn.")
+  in
+  let workload_arg =
+    Arg.(value & opt string "A"
+         & info [ "w"; "workload" ] ~docv:"A..C"
+             ~doc:"YCSB point-op mix for the churn phases.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 0.05
+         & info [ "interval" ] ~docv:"SECONDS"
+             ~doc:"Periodic ticker interval between phase boundaries \
+                   (0 disables the ticker; phase frames remain).")
+  in
+  let out_arg =
+    Arg.(value & opt string "-"
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Output file for the JSON-Lines frames (- = stdout).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed for the workload.")
+  in
+  let wal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "wal" ] ~docv:"DIR"
+             ~doc:"Run the fleet durable (group-commit WAL under DIR) so \
+                   the captured windows include the WAL counters.")
+  in
+  let run shards records ops pct workload interval out seed wal_dir =
+    if shards < 1 then begin prerr_endline "need at least one shard"; exit 2 end;
+    let update_pct = update_pct_of_workload workload in
+    Metrics.set_enabled true;
+    (* Tracing on too: span contexts ride the same run, so the frames'
+       histograms carry exemplar trace ids. *)
+    Trace.set_enabled true;
+    Timeline.set_enabled true;
+    Timeline.capture ~label:"start" ();
+    if Float.compare interval 0.0 > 0 then
+      Timeline.start_ticker ~interval_s:interval;
+    let shed =
+      run_obs_fleet ~shards ~records ~ops ~update_pct ~pct ~seed ?wal_dir
+        ~phase:(fun l -> Timeline.capture ~label:l ())
+        ()
+    in
+    Timeline.stop_ticker ();
+    let frames = List.length (Timeline.frames ()) in
+    (match out with
+    | "-" -> print_string (Timeline.export_jsonl ())
+    | path -> Timeline.write_jsonl path);
+    Printf.eprintf
+      "%s%d frame(s) over %d op(s) on %d shard(s), workload %s%s\n"
+      (if String.equal out "-" then "" else Printf.sprintf "wrote %s: " out)
+      frames ops shards workload
+      (if shed > 0 then Printf.sprintf "; %d op(s) shed" shed else "");
+    if frames = 0 then begin
+      prerr_endline "empty timeline: no frames were captured";
+      exit 1
+    end
+  in
+  let term =
+    Term.(const run $ shards_arg $ records_arg $ ops_arg $ bound_arg
+          $ workload_arg $ interval_arg $ out_arg $ seed_arg $ wal_arg)
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Run a sharded YCSB workload with the telemetry timeline on \
+             and dump the frame ring as JSON-Lines: per-window op-mix \
+             counter deltas, queue-depth gauges and windowed latency \
+             quantiles, cut at phase boundaries and on a periodic ticker.")
+    term
+
+(* Live per-shard view rendered from the newest timeline frame: op-mix
+   deltas and queue depth per shard plus windowed latency quantiles,
+   refreshed in place while the workload domain runs.  --once renders a
+   single frame without terminal control sequences (the CI smoke). *)
+let obs_top_cmd =
+  let module Metrics = Ei_obs.Metrics in
+  let module Timeline = Ei_obs.Timeline in
+  let shards_arg =
+    Arg.(value & opt int 2 & info [ "shards" ] ~doc:"Shard domains to spawn.")
+  in
+  let records_arg =
+    Arg.(value & opt int 50_000 & info [ "records" ] ~doc:"Records to load.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 200_000 & info [ "ops" ] ~doc:"Churn operations.")
+  in
+  let bound_arg =
+    Arg.(value & opt int 60
+         & info [ "bound" ]
+             ~doc:"Global soft memory bound as a percentage of the \
+                   unconstrained BTreeOLC estimate; halved mid-churn.")
+  in
+  let workload_arg =
+    Arg.(value & opt string "A"
+         & info [ "w"; "workload" ] ~docv:"A..C"
+             ~doc:"YCSB point-op mix for the churn phases.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 0.5
+         & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh interval.")
+  in
+  let once_arg =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Run the workload to completion, render the final \
+                   frame once and exit (no terminal control; for CI).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed for the workload.")
+  in
+  let render ~shards ~clear fr =
+    let b = Buffer.create 512 in
+    if clear then Buffer.add_string b "\027[2J\027[H";
+    Printf.bprintf b "ei top — frame %d%s\n" fr.Timeline.fr_seq
+      (if String.equal fr.Timeline.fr_label "" then ""
+       else Printf.sprintf " (%s)" fr.Timeline.fr_label);
+    Printf.bprintf b "%5s %10s %10s %10s %8s\n" "shard" "reads" "writes"
+      "scans" "queue";
+    for i = 0 to shards - 1 do
+      let c k =
+        Option.value ~default:0
+          (List.assoc_opt
+             (Printf.sprintf "serve.shard%d.%s" i k)
+             fr.Timeline.fr_counters)
+      in
+      let q =
+        Option.value ~default:0
+          (List.assoc_opt
+             (Printf.sprintf "serve.shard%d.queue_depth" i)
+             fr.Timeline.fr_gauges)
+      in
+      Printf.bprintf b "%5d %10d %10d %10d %8d\n" i (c "reads") (c "writes")
+        (c "scans") q
+    done;
+    if fr.Timeline.fr_hists <> [] then begin
+      Printf.bprintf b "%-24s %8s %8s %8s %8s %8s\n" "histogram (window)"
+        "count" "p50" "p99" "p999" "max";
+      List.iter
+        (fun (name, h) ->
+          Printf.bprintf b "%-24s %8d %8d %8d %8d %8d\n" name
+            h.Timeline.hf_count h.Timeline.hf_p50 h.Timeline.hf_p99
+            h.Timeline.hf_p999 h.Timeline.hf_max)
+        fr.Timeline.fr_hists
+    end;
+    print_string (Buffer.contents b);
+    flush stdout
+  in
+  let run shards records ops pct workload interval once seed =
+    if shards < 1 then begin prerr_endline "need at least one shard"; exit 2 end;
+    let update_pct = update_pct_of_workload workload in
+    Metrics.set_enabled true;
+    Timeline.set_enabled true;
+    Timeline.capture ~label:"start" ();
+    if once then begin
+      let shed =
+        run_obs_fleet ~shards ~records ~ops ~update_pct ~pct ~seed
+          ~phase:(fun l -> Timeline.capture ~label:l ())
+          ()
+      in
+      (* The drain window is empty by construction; show the newest
+         frame that actually saw traffic. *)
+      let busy fr = fr.Timeline.fr_counters <> [] in
+      (match List.find_opt busy (List.rev (Timeline.frames ())) with
+      | Some fr -> render ~shards ~clear:false fr
+      | None ->
+        prerr_endline "no timeline frame captured";
+        exit 1);
+      if shed > 0 then Printf.printf "%d op(s) shed\n" shed
+    end
+    else begin
+      let done_flag = Atomic.make false in
+      let worker =
+        Domain.spawn (fun () ->
+            let shed =
+              run_obs_fleet ~shards ~records ~ops ~update_pct ~pct ~seed
+                ~phase:(fun _ -> ())
+                ()
+            in
+            Atomic.set done_flag true;
+            shed)
+      in
+      while not (Atomic.get done_flag) do
+        Unix.sleepf interval;
+        Timeline.capture ~label:"top" ();
+        match Timeline.latest () with
+        | Some fr -> render ~shards ~clear:true fr
+        | None -> ()
+      done;
+      let shed = Domain.join worker in
+      Timeline.capture ~label:"final" ();
+      (match Timeline.latest () with
+      | Some fr -> render ~shards ~clear:true fr
+      | None -> ());
+      if shed > 0 then Printf.printf "%d op(s) shed\n" shed
+    end
+  in
+  let term =
+    Term.(const run $ shards_arg $ records_arg $ ops_arg $ bound_arg
+          $ workload_arg $ interval_arg $ once_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live per-shard telemetry view: op-mix deltas, queue depth \
+             and windowed latency quantiles from the newest timeline \
+             frame, refreshed while a YCSB workload runs (--once for a \
+             single non-interactive render).")
+    term
+
 (* --- sim ---------------------------------------------------------------- *)
 
 (* Deterministic simulation testing (ei_sim): differential op tapes
@@ -1027,6 +1369,10 @@ let sim_cmd =
   in
   let run engine a b ops seed gen bound slack scenario rounds shards scale out
       replay =
+    (* Any engine (or a replay) that trips an invariant or quarantines a
+       shard leaves an ei-*.flight.json next to the .sim.json repro. *)
+    Ei_obs.Trace.set_enabled true;
+    Ei_obs.Flight.arm ~dir:"." ();
     let write art =
       match out with
       | None -> ()
@@ -1233,6 +1579,8 @@ let () =
             wal_cmd;
             stats_cmd;
             obs_trace_cmd;
+            obs_timeline_cmd;
+            obs_top_cmd;
             sim_cmd;
             analyze_cmd;
           ]))

@@ -16,6 +16,7 @@ module Invariant = Ei_util.Invariant
 module Tracker = Ei_storage.Tracker
 module Memmodel = Ei_storage.Memmodel
 module Metrics = Ei_obs.Metrics
+module Trace = Ei_obs.Trace
 
 (* Shared structure-modification counters (per-domain sharded; no-ops
    while the registry is disabled).  The per-instance [stats] record
@@ -24,6 +25,11 @@ let c_conversions = Metrics.counter "btree.conversions"
 let c_leaf_splits = Metrics.counter "btree.leaf_splits"
 let c_leaf_merges = Metrics.counter "btree.leaf_merges"
 let c_search_splits = Metrics.counter "btree.search_splits"
+
+(* Grouped-descent span, mirroring [Btree_olc.ev_multi_find]: joins the
+   ambient request flow when a {!Ei_obs.Ctx} is installed. *)
+let ev_multi_find =
+  Trace.define ~span:true ~arg1:"keys" ~cat:"btree" "btree.multi_find"
 
 type node = Inner of inner | Leaf_node of Leaf.t
 
@@ -390,6 +396,7 @@ let mem t key = Option.is_some (find t key)
    lookup results, and replaying them afterwards keeps mid-batch
    structure mutations away from the other in-flight cursors. *)
 let multi_find ?(group = 8) t keys =
+  let tmf = Trace.start () in
   let nkeys = Array.length keys in
   let out = Array.make nkeys None in
   let splits = ref [] in
@@ -421,6 +428,7 @@ let multi_find ?(group = 8) t keys =
     base := first + n
   done;
   List.iter (fun (key, spec) -> force_split_leaf t key spec) (List.rev !splits);
+  Trace.span ev_multi_find ~start_ns:tmf nkeys;
   out
 
 (* In-place value update of an existing key; false if absent. *)

@@ -24,6 +24,8 @@ module Rng = Ei_util.Rng
 module Strtbl = Ei_util.Strtbl
 module Fnv = Ei_util.Fnv
 module Trace = Ei_obs.Trace
+module Flight = Ei_obs.Flight
+module Json = Ei_util.Mini_json
 
 exception Injected of string
 
@@ -139,6 +141,49 @@ let tapped name =
 
 let point s = tapped s.name
 
+(* --- Flight-recorder draw ring ---------------------------------------- *)
+
+(* The last [draw_cap] draws, recorded only while the flight recorder is
+   armed (one extra atomic load per fire otherwise) and handed to it as
+   a dump section: a chaos failure's artifact then names exactly which
+   injected faults preceded it, in draw order. *)
+let draw_cap = 512
+let draw_lock = Mutex.create ()
+let[@ei.guarded_by "draw_lock"] draw_ring : (string * bool * int * int) array =
+  Array.make draw_cap ("", false, 0, 0)
+
+let[@ei.guarded_by "draw_lock"] draw_cursor = ref 0
+
+let record_draw s ~hit ~call =
+  if Flight.armed () then begin
+    let ts = Ei_util.Bench_clock.now_ns () in
+    Mutex.lock draw_lock;
+    draw_ring.(!draw_cursor mod draw_cap) <- (s.name, hit, call, ts);
+    incr draw_cursor;
+    Mutex.unlock draw_lock
+  end
+
+let () =
+  Flight.register_section "fault_draws" (fun () ->
+      Mutex.lock draw_lock;
+      let n = !draw_cursor in
+      let first = if n > draw_cap then n - draw_cap else 0 in
+      let out = ref [] in
+      for d = n - 1 downto first do
+        let name, hit, call, ts = draw_ring.(d mod draw_cap) in
+        out :=
+          Json.Obj
+            [
+              ("site", Json.Str name);
+              ("fired", Json.Bool hit);
+              ("call", Json.Int call);
+              ("ts_ns", Json.Int ts);
+            ]
+          :: !out
+      done;
+      Mutex.unlock draw_lock;
+      Json.List !out)
+
 (* --- Firing ---------------------------------------------------------- *)
 
 let fire s =
@@ -159,6 +204,7 @@ let fire s =
        them.  Recorded outside the site lock: [call] is the draw's
        deterministic sequence number either way. *)
     Trace.emit s.ev (if hit then 1 else 0) call;
+    record_draw s ~hit ~call;
     hit
   end
 

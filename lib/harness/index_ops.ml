@@ -124,6 +124,38 @@ let observed ~prefix (ix : t) =
     scan = (fun start n -> timed h_scan (fun () -> ix.scan start n));
   }
 
+(* Per-operation root span contexts, for drivers that call the index
+   directly rather than through {!Ei_shard.Serve} (which mints its
+   own): each op runs under a fresh trace id, so the histogram
+   exemplars and trace events recorded beneath it are causally
+   attributed.  One counter fetch-add per op when tracing is on;
+   one atomic load when off. *)
+let traced (ix : t) =
+  let module Ctx = Ei_obs.Ctx in
+  let module Trace = Ei_obs.Trace in
+  let under f =
+    if Trace.enabled () then begin
+      Ctx.set (Ctx.mint ());
+      match f () with
+      | r ->
+        Ctx.clear ();
+        r
+      | exception e ->
+        Ctx.clear ();
+        raise e
+    end
+    else f ()
+  in
+  {
+    ix with
+    insert = (fun k tid -> under (fun () -> ix.insert k tid));
+    remove = (fun k -> under (fun () -> ix.remove k));
+    update = (fun k tid -> under (fun () -> ix.update k tid));
+    find = (fun k -> under (fun () -> ix.find k));
+    multi_find = (fun keys -> under (fun () -> ix.multi_find keys));
+    scan = (fun start n -> under (fun () -> ix.scan start n));
+  }
+
 let checksum = ref 0
 (* Scanned keys are folded into this sink so the compiler cannot elide
    the key materialisation work. *)

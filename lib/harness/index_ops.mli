@@ -65,6 +65,14 @@ val observed : prefix:string -> t -> t
     backend is unchanged.  One atomic load per op while the registry is
     disabled. *)
 
+val traced : t -> t
+(** [traced ix] is [ix] whose operations each run under a freshly
+    minted root {!Ei_obs.Ctx} span context (cleared afterwards, on
+    the exception path too), so histogram exemplars and trace events
+    recorded beneath them carry a trace id.  For drivers that call
+    the index directly; {!Ei_shard.Serve} mints its own contexts.
+    One atomic load per op while tracing is disabled. *)
+
 val checksum : int ref
 (** Sink for scanned key bytes (prevents dead-code elimination). *)
 

@@ -1,0 +1,146 @@
+(* ei_obs flight recorder: when the system breaks, dump what it was
+   doing.
+
+   Arming installs a hook on {!Ei_util.Invariant.broken} and exposes
+   {!trigger} for the serving layer's other two failure classes (shard
+   quarantine, WAL commit failure).  A trigger snapshots the last N
+   trace-ring events (decoded, with span context), the telemetry
+   timeline frames, and any registered extra sections (the fault
+   injector registers its recent draws) into a self-describing
+   [.flight.json] artifact — so a chaos or sim failure ships its own
+   post-mortem instead of a bare exception line.
+
+   Armed-off cost is one atomic load.  Dumps are capped ([max_dumps])
+   and serialised by a compare-and-set guard, so a cascade of failures
+   produces a bounded set of artifacts and a trigger raised *while*
+   dumping (e.g. an invariant breaking inside a section callback)
+   cannot recurse.  [trigger] never raises: a flight recorder that
+   turns one failure into two is worse than none. *)
+
+module Clock = Ei_util.Bench_clock
+module Invariant = Ei_util.Invariant
+module Json = Ei_util.Mini_json
+
+let armed_flag = Atomic.make false
+let armed () = Atomic.get armed_flag
+
+(* Configuration is written only by [arm]/[disarm] (cold, single
+   caller by convention) and read by [trigger]; a trigger racing a
+   re-arm merely dumps under the old settings. *)
+let cfg_dir = ref "." [@ei.single_domain]
+let cfg_max_dumps = ref 4 [@ei.single_domain]
+let cfg_events = ref 2048 [@ei.single_domain]
+
+let dumping = Atomic.make false
+let dumps_done = Atomic.make 0
+let last = Atomic.make None
+
+(* Dumps that themselves failed (disk full, unwritable dir).  [trigger]
+   must not raise, so the failure is counted instead of propagated. *)
+let failed_dumps = Atomic.make 0
+
+let last_dump () = Atomic.get last
+
+(* Extra data providers: lower layers (ei_fault) register a named
+   thunk evaluated at dump time. *)
+let sections_lock = Mutex.create ()
+let[@ei.guarded_by "sections_lock"] sections : (string * (unit -> Json.t)) list ref =
+  ref []
+
+let register_section name f =
+  Mutex.lock sections_lock;
+  sections := (name, f) :: List.remove_assoc name !sections;
+  Mutex.unlock sections_lock
+
+let trace_json limit =
+  let evs =
+    Trace.fold_events_ctx
+      (fun acc ~domain ~ts ~id ~a ~b ~trace ~span ~parent ->
+        (ts, domain, id, a, b, trace, span, parent) :: acc)
+      []
+  in
+  let evs =
+    List.stable_sort
+      (fun (t1, _, _, _, _, _, _, _) (t2, _, _, _, _, _, _, _) ->
+        Int.compare t1 t2)
+      evs
+  in
+  let total = List.length evs in
+  let evs =
+    if total <= limit then evs
+    else List.filteri (fun i _ -> i >= total - limit) evs
+  in
+  Json.List
+    (List.map
+       (fun (ts, domain, id, a, b, trace, span, parent) ->
+         let name, cat = Trace.kind_info id in
+         Json.Obj
+           ([
+              ("name", Json.Str name);
+              ("cat", Json.Str cat);
+              ("domain", Json.Int domain);
+              ("ts_ns", Json.Int ts);
+              ("a", Json.Int a);
+              ("b", Json.Int b);
+            ]
+           @
+           if trace = 0 then []
+           else
+             [
+               ("trace", Json.Int trace);
+               ("span", Json.Int span);
+               ("parent", Json.Int parent);
+             ]))
+       evs)
+
+let write_dump ~reason ~detail =
+  let seq = Atomic.fetch_and_add dumps_done 1 in
+  if seq < !cfg_max_dumps then begin
+    let secs =
+      Mutex.lock sections_lock;
+      let s = !sections in
+      Mutex.unlock sections_lock;
+      List.rev_map
+        (fun (n, f) -> (n, try f () with _ -> Json.Str "<section failed>"))
+        s
+    in
+    let doc =
+      Json.Obj
+        [
+          ("reason", Json.Str reason);
+          ("detail", Json.Str detail);
+          ("ts_ns", Json.Int (Clock.now_ns ()));
+          ("trace", trace_json !cfg_events);
+          ( "timeline",
+            Json.List (List.map Timeline.json_of_frame (Timeline.frames ())) );
+          ("sections", Json.Obj secs);
+        ]
+    in
+    let path = Filename.concat !cfg_dir (Printf.sprintf "ei-%d.flight.json" seq) in
+    let oc = open_out path in
+    output_string oc (Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Atomic.set last (Some path)
+  end
+
+let trigger ~reason ~detail =
+  if Atomic.get armed_flag && Atomic.compare_and_set dumping false true then begin
+    (try write_dump ~reason ~detail
+     with _ -> Atomic.incr failed_dumps);
+    Atomic.set dumping false
+  end
+
+let arm ?(dir = ".") ?(max_dumps = 4) ?(events = 2048) () =
+  cfg_dir := dir;
+  cfg_max_dumps := max_dumps;
+  cfg_events := events;
+  Atomic.set dumps_done 0;
+  Atomic.set last None;
+  Invariant.set_on_broken (fun msg ->
+      trigger ~reason:"invariant-broken" ~detail:msg);
+  Atomic.set armed_flag true
+
+let disarm () =
+  Atomic.set armed_flag false;
+  Invariant.set_on_broken (fun _ -> ())

@@ -1,0 +1,29 @@
+(** ei_obs flight recorder: on failure, dump the last N trace events,
+    the telemetry timeline and registered extra sections (fault draws)
+    to a self-describing [.flight.json] artifact.
+
+    {!arm} hooks {!Ei_util.Invariant.set_on_broken}; the serving layer
+    calls {!trigger} directly for shard quarantine and WAL commit
+    failure.  Unarmed cost is one atomic load; dumps are capped and
+    recursion-guarded, and {!trigger} never raises. *)
+
+val arm : ?dir:string -> ?max_dumps:int -> ?events:int -> unit -> unit
+(** Start recording triggers.  Dumps go to [dir] (default ["."]) as
+    [ei-<seq>.flight.json], at most [max_dumps] (default 4) per arm,
+    each carrying the newest [events] (default 2048) trace events. *)
+
+val disarm : unit -> unit
+
+val armed : unit -> bool
+
+val trigger : reason:string -> detail:string -> unit
+(** Write a dump now (no-op when unarmed, over the dump cap, or
+    already dumping).  Never raises. *)
+
+val last_dump : unit -> string option
+(** Path of the most recent dump written since {!arm}. *)
+
+val register_section : string -> (unit -> Ei_util.Mini_json.t) -> unit
+(** Add a named section evaluated at dump time; re-registering a name
+    replaces it.  How lower layers (the fault injector) contribute
+    context without ei_obs depending on them. *)

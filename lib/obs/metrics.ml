@@ -11,10 +11,14 @@
 
    Histograms bucket values (nanoseconds by convention) into power-of-two
    buckets: bucket [i] holds values in [2^i, 2^{i+1}) (bucket 0 also
-   absorbs 0).  Quantiles walk the merged buckets and report the bucket's
-   inclusive upper bound — a conservative overestimate of at most 2x,
-   stable across merges, good enough to tell a 10 us batch from a 10 ms
-   stall.
+   absorbs 0).  Quantiles walk the merged buckets to the bucket holding
+   the rank-[ceil (q*n)] sample and interpolate linearly inside it
+   (assuming samples spread uniformly across the bucket), clamped to the
+   histogram's observed min/max watermarks — so a single-sample
+   histogram reports the sample itself, not a power-of-two ceiling.
+   Each bucket also retains the {!Ctx} trace id of its most recent hit
+   (an exemplar, Prometheus-style): ask a histogram for its p999 and it
+   can also name a trace that actually landed there.
 
    [register_probe] folds externally-maintained counters (e.g. the
    SeqTree scan-length stats of {!Ei_blindi.Stats}) into the same export
@@ -67,6 +71,9 @@ type histogram = {
   hname : string;
   hcounts : int Atomic.t array;  (* shards * buckets, row per shard *)
   hsums : int Atomic.t array;    (* per-shard value sums *)
+  hmins : int Atomic.t array;    (* per-shard min watermark; max_int = none *)
+  hmaxs : int Atomic.t array;    (* per-shard max watermark; -1 = none *)
+  hexem : int Atomic.t array;    (* per-bucket last trace id; last-write-wins *)
 }
 
 (* Floor of log2 for v > 0, by binary reduction (no popcount/clz in the
@@ -86,11 +93,27 @@ let bucket_of v = if v <= 1 then 0 else min (buckets - 1) (log2 v)
 (* Inclusive upper bound of bucket [i]: the value a quantile reports. *)
 let bucket_upper i = if i >= buckets - 1 then max_int else (1 lsl (i + 1)) - 1
 
+(* CAS loops for the watermarks: collisions need two domains to share a
+   cell (rare) and race the same extremum update (rarer); the common
+   case is one read finding the watermark already past [v]. *)
+let rec relax_min c v =
+  let cur = Atomic.get c in
+  if v < cur && not (Atomic.compare_and_set c cur v) then relax_min c v
+
+let rec relax_max c v =
+  let cur = Atomic.get c in
+  if v > cur && not (Atomic.compare_and_set c cur v) then relax_max c v
+
 let observe h v =
   if Atomic.get on then begin
     let s = cell () in
-    ignore (Atomic.fetch_and_add h.hcounts.((s * buckets) + bucket_of v) 1);
-    ignore (Atomic.fetch_and_add h.hsums.(s) v)
+    let bkt = bucket_of v in
+    ignore (Atomic.fetch_and_add h.hcounts.((s * buckets) + bkt) 1);
+    ignore (Atomic.fetch_and_add h.hsums.(s) v);
+    relax_min h.hmins.(s) v;
+    relax_max h.hmaxs.(s) v;
+    let tr = Ctx.current_trace () in
+    if tr <> 0 then Atomic.set h.hexem.(bkt) tr
   end
 
 (* Merge the per-domain rows into one bucket array. *)
@@ -104,33 +127,71 @@ let merged h =
   out
 
 let histogram_count h = sum_cells h.hcounts
+
 let histogram_sum h = sum_cells h.hsums
 
-(* [quantile h q] walks the merged buckets to the smallest bucket whose
-   cumulative count reaches rank [ceil (q * n)] and returns its upper
-   bound.  Empty histograms report 0. *)
-let quantile_of_buckets bs q =
+let histogram_min h =
+  let m = Array.fold_left (fun acc c -> min acc (Atomic.get c)) max_int h.hmins in
+  if m = max_int then 0 else m
+
+let histogram_max h =
+  let m = Array.fold_left (fun acc c -> max acc (Atomic.get c)) (-1) h.hmaxs in
+  if m < 0 then 0 else m
+
+(* Inclusive lower bound of bucket [i]. *)
+let bucket_lower i = if i = 0 then 0 else 1 lsl i
+
+(* Index of the bucket holding the rank-[ceil (q*n)] sample, with the
+   sample's rank offset inside the bucket — shared by quantile and
+   exemplar lookup.  None when the histogram is empty. *)
+let quantile_bucket bs q =
   let n = Array.fold_left ( + ) 0 bs in
-  if n = 0 then 0
+  if n = 0 then None
   else begin
     let rank =
       let r = int_of_float (Float.ceil (q *. float_of_int n)) in
       if r < 1 then 1 else if r > n then n else r
     in
     let rec walk i acc =
-      if i >= buckets then bucket_upper (buckets - 1)
+      if i >= buckets then Some (buckets - 1, 1, 1)
       else
-        let acc = acc + bs.(i) in
-        if acc >= rank then bucket_upper i else walk (i + 1) acc
+        let acc' = acc + bs.(i) in
+        if acc' >= rank then Some (i, rank - acc, bs.(i)) else walk (i + 1) acc'
     in
     walk 0 0
   end
 
-let quantile h q = quantile_of_buckets (merged h) q
+(* [quantile_of_buckets bs q] interpolates linearly inside the rank's
+   bucket — samples are assumed uniform across [lower .. upper] — and
+   clamps to the [lo]/[hi] watermarks when given, so exact extrema
+   (min, max, single sample) report themselves.  Empty: 0. *)
+let quantile_of_buckets ?(lo = 0) ?(hi = max_int) bs q =
+  match quantile_bucket bs q with
+  | None -> 0
+  | Some (i, in_rank, in_count) ->
+    let l = bucket_lower i and u = bucket_upper i in
+    let frac = float_of_int in_rank /. float_of_int (max in_count 1) in
+    let v = l + int_of_float (frac *. float_of_int (u - l)) in
+    let v = if v < lo then lo else v in
+    if v > hi then hi else v
+
+let quantile h q =
+  quantile_of_buckets ~lo:(histogram_min h) ~hi:(histogram_max h) (merged h) q
+
+(* The trace id most recently observed into the bucket a quantile's
+   rank lands in; 0 when the histogram is empty or the bucket never saw
+   a hit while a request context was installed. *)
+let quantile_exemplar h q =
+  match quantile_bucket (merged h) q with
+  | None -> 0
+  | Some (i, _, _) -> Atomic.get h.hexem.(i)
 
 let reset_histogram h =
   Array.iter (fun c -> Atomic.set c 0) h.hcounts;
-  Array.iter (fun c -> Atomic.set c 0) h.hsums
+  Array.iter (fun c -> Atomic.set c 0) h.hsums;
+  Array.iter (fun c -> Atomic.set c max_int) h.hmins;
+  Array.iter (fun c -> Atomic.set c (-1)) h.hmaxs;
+  Array.iter (fun c -> Atomic.set c 0) h.hexem
 
 (* --- Registry --------------------------------------------------------- *)
 
@@ -168,6 +229,9 @@ let histogram name =
         hname = name;
         hcounts = Array.init (shards * buckets) (fun _ -> Atomic.make 0);
         hsums = Array.init shards (fun _ -> Atomic.make 0);
+        hmins = Array.init shards (fun _ -> Atomic.make max_int);
+        hmaxs = Array.init shards (fun _ -> Atomic.make (-1));
+        hexem = Array.init buckets (fun _ -> Atomic.make 0);
       })
 
 let register_probe name f =
@@ -188,16 +252,43 @@ let sorted_bindings tbl =
     (fun (a, _) (b, _) -> String.compare a b)
     (Strtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
+type hist_snap = {
+  hs_count : int;
+  hs_sum : int;
+  hs_min : int;
+  hs_max : int;
+  hs_quantiles : (float * int) list;
+  hs_exemplars : (float * int) list;  (* quantile -> trace id, 0 = none *)
+}
+
 type snapshot = {
   snap_counters : (string * int) list;
   snap_gauges : (string * int) list;
   snap_probes : (string * int) list;
-  snap_histograms :
-    (string * (int * int * (float * int) list)) list;
-      (* name -> count, sum, quantiles *)
+  snap_histograms : (string * hist_snap) list;
 }
 
 let export_quantiles = [ 0.5; 0.9; 0.99; 0.999 ]
+
+let hist_snap_of h =
+  let bs = merged h in
+  let lo = histogram_min h and hi = histogram_max h in
+  {
+    hs_count = Array.fold_left ( + ) 0 bs;
+    hs_sum = histogram_sum h;
+    hs_min = lo;
+    hs_max = hi;
+    hs_quantiles =
+      List.map (fun q -> (q, quantile_of_buckets ~lo ~hi bs q)) export_quantiles;
+    hs_exemplars =
+      List.map
+        (fun q ->
+          ( q,
+            match quantile_bucket bs q with
+            | None -> 0
+            | Some (i, _, _) -> Atomic.get h.hexem.(i) ))
+        export_quantiles;
+  }
 
 let snapshot () =
   with_lock (fun () ->
@@ -211,17 +302,24 @@ let snapshot () =
         snap_probes =
           List.map (fun (n, f) -> (n, f ())) (sorted_bindings probes);
         snap_histograms =
-          List.map
-            (fun (n, h) ->
-              let bs = merged h in
-              ( n,
-                ( Array.fold_left ( + ) 0 bs,
-                  histogram_sum h,
-                  List.map
-                    (fun q -> (q, quantile_of_buckets bs q))
-                    export_quantiles ) ))
-            (sorted_bindings histograms);
+          List.map (fun (n, h) -> (n, hist_snap_of h)) (sorted_bindings histograms);
       })
+
+(* Registry listings for the {!Timeline} snapshot engine: stable
+   name-sorted views, histogram entries as live handles so the caller
+   can delta merged bucket arrays between frames. *)
+let counters_list () =
+  with_lock (fun () ->
+      List.map (fun (n, c) -> (n, counter_value c)) (sorted_bindings counters))
+
+let gauges_list () =
+  with_lock (fun () ->
+      List.map (fun (n, g) -> (n, gauge_value g)) (sorted_bindings gauges))
+
+let histograms_list () = with_lock (fun () -> sorted_bindings histograms)
+
+let histogram_name h = h.hname
+let histogram_buckets h = merged h
 
 (* Prometheus metric names allow [a-zA-Z0-9_:]; dotted registry names
    map onto underscores under an [ei_] namespace. *)
@@ -250,12 +348,14 @@ let dump_prometheus () =
       line "%s %d" (prom_name n) v)
     (s.snap_gauges @ s.snap_probes);
   List.iter
-    (fun (n, (count, sum, qs)) ->
+    (fun (n, hs) ->
       let pn = prom_name n in
       line "# TYPE %s summary" pn;
-      List.iter (fun (q, v) -> line "%s{quantile=\"%g\"} %d" pn q v) qs;
-      line "%s_sum %d" pn sum;
-      line "%s_count %d" pn count)
+      List.iter (fun (q, v) -> line "%s{quantile=\"%g\"} %d" pn q v) hs.hs_quantiles;
+      line "%s_sum %d" pn hs.hs_sum;
+      line "%s_count %d" pn hs.hs_count;
+      line "%s_min %d" pn hs.hs_min;
+      line "%s_max %d" pn hs.hs_max)
     s.snap_histograms;
   Buffer.contents b
 
@@ -282,25 +382,34 @@ let dump_json () =
   let scalars kvs =
     List.map (fun (n, v) -> Printf.sprintf "\"%s\": %d" (json_escape n) v) kvs
   in
+  let qname q =
+    (* 0.5 -> "p50", 0.999 -> "p999" *)
+    match Printf.sprintf "%g" q with
+    | "0.5" -> "p50"
+    | "0.9" -> "p90"
+    | "0.99" -> "p99"
+    | "0.999" -> "p999"
+    | s -> "p" ^ s
+  in
   let hists =
     List.map
-      (fun (n, (count, sum, qs)) ->
-        let qname q =
-          (* 0.5 -> "p50", 0.999 -> "p999" *)
-          match Printf.sprintf "%g" q with
-          | "0.5" -> "p50"
-          | "0.9" -> "p90"
-          | "0.99" -> "p99"
-          | "0.999" -> "p999"
-          | s -> "p" ^ s
-        in
+      (fun (n, hs) ->
         Printf.sprintf "\"%s\": %s" (json_escape n)
           (obj
-             (Printf.sprintf "\"count\": %d" count
-             :: Printf.sprintf "\"sum\": %d" sum
+             (Printf.sprintf "\"count\": %d" hs.hs_count
+             :: Printf.sprintf "\"sum\": %d" hs.hs_sum
+             :: Printf.sprintf "\"min_ns\": %d" hs.hs_min
+             :: Printf.sprintf "\"max_ns\": %d" hs.hs_max
              :: List.map
                   (fun (q, v) -> Printf.sprintf "\"%s_ns\": %d" (qname q) v)
-                  qs)))
+                  hs.hs_quantiles
+             @ List.filter_map
+                 (fun (q, tr) ->
+                   if tr = 0 then None
+                   else
+                     Some
+                       (Printf.sprintf "\"%s_exemplar\": %d" (qname q) tr))
+                 hs.hs_exemplars)))
       s.snap_histograms
   in
   Buffer.add_string b

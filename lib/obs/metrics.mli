@@ -45,13 +45,31 @@ val histogram : string -> histogram
     [2{^i} .. 2{^i+1}-1]; bucket 0 also absorbs 0). *)
 
 val observe : histogram -> int -> unit
+(** Record a value: bucket + sum increments, min/max watermark
+    relaxation, and — when an ambient {!Ctx} trace is installed — the
+    bucket's exemplar is updated to that trace id. *)
+
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> int
 
+val histogram_min : histogram -> int
+(** Smallest value ever observed (since the last reset); 0 when
+    empty. *)
+
+val histogram_max : histogram -> int
+(** Largest value ever observed (since the last reset); 0 when
+    empty. *)
+
 val quantile : histogram -> float -> int
-(** [quantile h q] for [q] in [0, 1]: the inclusive upper bound of the
-    bucket containing the rank-[ceil (q*n)] sample — a conservative
-    at-most-2x overestimate.  0 when the histogram is empty. *)
+(** [quantile h q] for [q] in [0, 1]: linear interpolation inside the
+    log2 bucket containing the rank-[ceil (q*n)] sample, clamped to the
+    observed min/max watermarks — a single-sample histogram reports the
+    sample itself.  0 when the histogram is empty. *)
+
+val quantile_exemplar : histogram -> float -> int
+(** The trace id most recently observed into the bucket where
+    [quantile h q]'s rank falls — a Prometheus-style exemplar pointing
+    from a latency quantile into the trace ring.  0 when unknown. *)
 
 val reset_histogram : histogram -> unit
 
@@ -74,7 +92,23 @@ val dump_prometheus : unit -> string
 
 val dump_json : unit -> string
 (** One JSON object: [{"counters": {..}, "gauges": {..}, "probes":
-    {..}, "histograms": {name: {count, sum, p50_ns, ...}}}]. *)
+    {..}, "histograms": {name: {count, sum, min_ns, max_ns, p50_ns,
+    ..., p999_exemplar?}}}] — exemplar fields appear only for
+    quantiles whose bucket recorded a trace id. *)
+
+(** {1 Registry listings}
+
+    Stable name-sorted views of the registry for snapshot engines
+    ({!Timeline}): counters and gauges as values, histograms as live
+    handles so bucket arrays can be delta'd between frames. *)
+
+val counters_list : unit -> (string * int) list
+val gauges_list : unit -> (string * int) list
+val histograms_list : unit -> (string * histogram) list
+val histogram_name : histogram -> string
+
+val histogram_buckets : histogram -> int array
+(** A fresh merged copy of the per-domain bucket rows. *)
 
 (**/**)
 
@@ -82,3 +116,8 @@ val bucket_of : int -> int
 val bucket_upper : int -> int
 (** Exposed for the test suite: the bucket index of a value and a
     bucket's inclusive upper bound. *)
+
+val quantile_of_buckets : ?lo:int -> ?hi:int -> int array -> float -> int
+(** Quantile over a raw (merged or delta'd) bucket array, interpolated
+    and clamped to [lo]/[hi] when given — what {!Timeline} uses on
+    windowed bucket deltas. *)

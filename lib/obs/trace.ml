@@ -22,6 +22,11 @@
 module Clock = Ei_util.Bench_clock
 module Invariant = Ei_util.Invariant
 
+(* Monomorphic int-keyed table for the exporter's per-trace slice
+   counts (trace ids are ints; the seeded string table would be the
+   wrong shape and the polymorphic default is linted out). *)
+module Itbl = Hashtbl.Make (Int)
+
 let on = Atomic.make false
 let set_enabled b = Atomic.set on b
 let enabled () = Atomic.get on
@@ -39,6 +44,11 @@ type kind = {
 let kinds_lock = Mutex.create ()
 let[@ei.guarded_by "kinds_lock"] kinds : kind array ref = ref [||]
 
+let kind_info id =
+  let ks = !kinds in
+  if id >= 0 && id < Array.length ks then (ks.(id).ev_name, ks.(id).ev_cat)
+  else (Printf.sprintf "event-%d" id, "unknown")
+
 let define ?(span = false) ?(arg0 = "") ?(arg1 = "") ~cat name =
   Mutex.lock kinds_lock;
   let ks = !kinds in
@@ -52,16 +62,28 @@ let define ?(span = false) ?(arg0 = "") ?(arg1 = "") ~cat name =
 (* --- Rings ------------------------------------------------------------ *)
 
 (* One ring per domain, written only by its owner; a reader walking the
-   ring after the fact tolerates torn slots (see [drain]). *)
+   ring after the fact tolerates torn slots (see [drain]).  [rtr] holds
+   the ambient {!Ctx} trace id (0 = no request in flight) and [rsl] the
+   span/parent pair packed into one word. *)
 type ring = {
   rdom : int;
   rts : int array;
   rev : int array;
   ra : int array;
   rb : int array;
+  rtr : int array;
+  rsl : int array;
   mutable cursor : int;  (* total events ever written; single writer *)
 }
 [@@ei.single_domain]
+
+(* Span and parent ids share a word: 31 bits each fits any id a real
+   run mints (ids are sequential) inside OCaml's 63-bit int. *)
+let pack_link ~span ~parent =
+  ((parent land 0x7fffffff) lsl 31) lor (span land 0x7fffffff)
+
+let link_span sl = sl land 0x7fffffff
+let link_parent sl = (sl lsr 31) land 0x7fffffff
 
 let default_capacity = 32768
 let capacity = Atomic.make default_capacity
@@ -84,6 +106,8 @@ let new_ring () =
       rev = Array.make cap 0;
       ra = Array.make cap 0;
       rb = Array.make cap 0;
+      rtr = Array.make cap 0;
+      rsl = Array.make cap 0;
       cursor = 0;
     }
   in
@@ -99,10 +123,15 @@ let ring_key = Domain.DLS.new_key new_ring
 
 let write r ts id a b =
   let i = r.cursor land (Array.length r.rts - 1) in
+  let c = Ctx.cell () in
   r.rts.(i) <- ts;
   r.rev.(i) <- id;
   r.ra.(i) <- a;
   r.rb.(i) <- b;
+  r.rtr.(i) <- c.Ctx.c_trace;
+  r.rsl.(i) <-
+    (if c.Ctx.c_trace = 0 then 0
+     else pack_link ~span:c.Ctx.c_span ~parent:c.Ctx.c_parent);
   r.cursor <- r.cursor + 1
 
 let emit id a b =
@@ -133,7 +162,7 @@ let reset () =
 (* Iterate the retained events of every ring, per ring in write order.
    Call after mutators quiesce: the rings are single-writer and the
    reader takes no lock against them. *)
-let fold_events f acc =
+let fold_events_ctx f acc =
   Mutex.lock rings_lock;
   let rs = List.rev !rings in
   Mutex.unlock rings_lock;
@@ -144,12 +173,20 @@ let fold_events f acc =
       let acc = ref acc in
       for n = first to r.cursor - 1 do
         let i = n land (cap - 1) in
+        let sl = r.rsl.(i) in
         acc :=
           f !acc ~domain:r.rdom ~ts:r.rts.(i) ~id:r.rev.(i) ~a:r.ra.(i)
-            ~b:r.rb.(i)
+            ~b:r.rb.(i) ~trace:r.rtr.(i) ~span:(link_span sl)
+            ~parent:(link_parent sl)
       done;
       !acc)
     acc rs
+
+let fold_events f acc =
+  fold_events_ctx
+    (fun acc ~domain ~ts ~id ~a ~b ~trace:_ ~span:_ ~parent:_ ->
+      f acc ~domain ~ts ~id ~a ~b)
+    acc
 
 let events () = fold_events (fun n ~domain:_ ~ts:_ ~id:_ ~a:_ ~b:_ -> n + 1) 0
 
@@ -172,15 +209,39 @@ let json_escape s =
 let export_json () =
   let ks = !kinds in
   let evs =
-    fold_events
-      (fun acc ~domain ~ts ~id ~a ~b -> (ts, domain, id, a, b) :: acc)
+    fold_events_ctx
+      (fun acc ~domain ~ts ~id ~a ~b ~trace ~span ~parent ->
+        (ts, domain, id, a, b, trace, span, parent) :: acc)
       []
   in
-  let evs = List.stable_sort (fun (t1, _, _, _, _) (t2, _, _, _, _) -> Int.compare t1 t2) evs in
-  let t0 = match evs with (t, _, _, _, _) :: _ -> t | [] -> 0 in
-  let doms =
-    List.sort_uniq Int.compare (List.map (fun (_, d, _, _, _) -> d) evs)
+  let evs =
+    List.stable_sort
+      (fun (t1, _, _, _, _, _, _, _) (t2, _, _, _, _, _, _, _) ->
+        Int.compare t1 t2)
+      evs
   in
+  let t0 = match evs with (t, _, _, _, _, _, _, _) :: _ -> t | [] -> 0 in
+  let doms =
+    List.sort_uniq Int.compare (List.map (fun (_, d, _, _, _, _, _, _) -> d) evs)
+  in
+  let kind_of id =
+    if id >= 0 && id < Array.length ks then ks.(id)
+    else
+      { ev_name = Printf.sprintf "event-%d" id; ev_cat = "unknown";
+        ev_span = false; ev_arg0 = ""; ev_arg1 = "" }
+  in
+  (* Flow events stitch one trace's span events ("X" slices) into a
+     Perfetto arrow chain; a trace needs at least two slices to draw
+     one.  Count slices per trace up front so each slice can be tagged
+     start ("s"), step ("t") or finish ("f") as it streams out. *)
+  let flow_total = Itbl.create 64 in
+  List.iter
+    (fun (_, _, id, _, _, trace, _, _) ->
+      if trace <> 0 && (kind_of id).ev_span then
+        Itbl.replace flow_total trace
+          (1 + Option.value ~default:0 (Itbl.find_opt flow_total trace)))
+    evs;
+  let flow_seen = Itbl.create 64 in
   let buf = Buffer.create (65536 + (List.length evs * 96)) in
   Buffer.add_string buf "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   let first = ref true in
@@ -198,34 +259,56 @@ let export_json () =
            d d))
     doms;
   List.iter
-    (fun (ts, dom, id, a, b) ->
-      let k =
-        if id >= 0 && id < Array.length ks then ks.(id)
-        else
-          { ev_name = Printf.sprintf "event-%d" id; ev_cat = "unknown";
-            ev_span = false; ev_arg0 = ""; ev_arg1 = "" }
-      in
+    (fun (ts, dom, id, a, b, trace, span, parent) ->
+      let k = kind_of id in
       let us = float_of_int (ts - t0) /. 1e3 in
       let arg dflt nm v =
         Printf.sprintf "\"%s\": %d" (json_escape (if nm = "" then dflt else nm)) v
+      in
+      let ctx_args =
+        if trace = 0 then ""
+        else
+          Printf.sprintf ", \"trace\": %d, \"span\": %d, \"parent\": %d" trace
+            span parent
       in
       let obj =
         if k.ev_span then
           Printf.sprintf
             "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, \
-             \"dur\": %.3f, \"pid\": 1, \"tid\": %d, \"args\": {%s}}"
+             \"dur\": %.3f, \"pid\": 1, \"tid\": %d, \"args\": {%s%s}}"
             (json_escape k.ev_name) (json_escape k.ev_cat) us
             (float_of_int a /. 1e3)
             dom
-            (arg "a1" k.ev_arg1 b)
+            (arg "a1" k.ev_arg1 b) ctx_args
         else
           Printf.sprintf
             "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"i\", \"s\": \"t\", \
-             \"ts\": %.3f, \"pid\": 1, \"tid\": %d, \"args\": {%s, %s}}"
+             \"ts\": %.3f, \"pid\": 1, \"tid\": %d, \"args\": {%s, %s%s}}"
             (json_escape k.ev_name) (json_escape k.ev_cat) us dom
-            (arg "a0" k.ev_arg0 a) (arg "a1" k.ev_arg1 b)
+            (arg "a0" k.ev_arg0 a) (arg "a1" k.ev_arg1 b) ctx_args
       in
-      add_obj obj)
+      add_obj obj;
+      if trace <> 0 && k.ev_span then begin
+        match Itbl.find_opt flow_total trace with
+        | Some total when total >= 2 ->
+          let seen =
+            1 + Option.value ~default:0 (Itbl.find_opt flow_seen trace)
+          in
+          Itbl.replace flow_seen trace seen;
+          (* Same ts as the slice it binds to, emitted right after it,
+             so the stream stays sorted by ts. *)
+          let ph, bp =
+            if seen = 1 then ("s", "")
+            else if seen = total then ("f", ", \"bp\": \"e\"")
+            else ("t", ", \"bp\": \"e\"")
+          in
+          add_obj
+            (Printf.sprintf
+               "{\"name\": \"req\", \"cat\": \"flow\", \"ph\": \"%s\", \
+                \"ts\": %.3f, \"pid\": 1, \"tid\": %d, \"id\": %d%s}"
+               ph us dom trace bp)
+        | _ -> ()
+      end)
     evs;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf

@@ -27,11 +27,19 @@ val define :
     a Chrome "X" complete event: payload word 0 is its duration in
     nanoseconds ([arg0] is ignored). *)
 
+val kind_info : int -> string * string
+(** Name and category of an interned kind id ([("event-N", "unknown")]
+    for an id never defined) — for decoders like the flight
+    recorder. *)
+
 (** {1 Recording} *)
 
 val emit : int -> int -> int -> unit
 (** [emit id a b] records an event of kind [id] with payload words [a]
-    and [b], timestamped now. *)
+    and [b], timestamped now.  Every recording also stamps the ambient
+    {!Ctx} span context (trace/span/parent ids, 0 when none), so events
+    emitted while a request context is installed join that request's
+    flow in the export. *)
 
 val instant : ?a:int -> ?b:int -> int -> unit
 
@@ -56,13 +64,32 @@ val fold_events :
     Quiesce emitters first: rings are single-writer and the reader
     takes no lock against them. *)
 
+val fold_events_ctx :
+  ('acc ->
+  domain:int ->
+  ts:int ->
+  id:int ->
+  a:int ->
+  b:int ->
+  trace:int ->
+  span:int ->
+  parent:int ->
+  'acc) ->
+  'acc ->
+  'acc
+(** {!fold_events} plus each event's span context (all 0 when the event
+    was recorded outside any request). *)
+
 val reset : unit -> unit
 (** Drop all retained events (rings stay allocated). *)
 
 val export_json : unit -> string
 (** The merged rings as Chrome [trace_events] JSON: events sorted by
     timestamp, normalised to the earliest event, one track per domain,
-    plus thread-name metadata records. *)
+    plus thread-name metadata records.  Span events carrying a {!Ctx}
+    context gain [trace]/[span]/[parent] args and Perfetto flow events
+    ([ph] "s"/"t"/"f", [id] = trace id) linking one request's slices
+    across domains into an arrow chain. *)
 
 val write_json : string -> unit
 (** {!export_json} to a file. *)

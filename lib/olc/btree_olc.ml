@@ -43,6 +43,12 @@ let ev_set_bound =
   Trace.define ~cat:"elastic" ~arg0:"new_bound" ~arg1:"old_bound"
     "olc.elastic.set_bound"
 
+(* One span per grouped lockstep descent, on the calling (shard)
+   domain's track; under an ambient request {!Ei_obs.Ctx} it joins that
+   request's flow as the tree-descent stage. *)
+let ev_multi_find =
+  Trace.define ~span:true ~arg1:"keys" ~cat:"olc" "olc.multi_find"
+
 exception Restart
 
 (* --- Simulation preemption points ------------------------------------ *)
@@ -622,6 +628,7 @@ let mem t key = Option.is_some (find t key)
    per lockstep round so the simulation scheduler can interleave
    writers *between* rounds, in the middle of a batch. *)
 let multi_find ?(group = 8) t keys =
+  let tmf = Trace.start () in
   let nkeys = Array.length keys in
   let out = Array.make nkeys None in
   let base = ref 0 in
@@ -662,6 +669,7 @@ let multi_find ?(group = 8) t keys =
       ();
     base := first + n
   done;
+  Trace.span ev_multi_find ~start_ns:tmf nkeys;
   out
 
 let insert t key tid =

@@ -52,6 +52,8 @@ module Table = Ei_storage.Table
 module Invariant = Ei_util.Invariant
 module Metrics = Ei_obs.Metrics
 module Trace = Ei_obs.Trace
+module Ctx = Ei_obs.Ctx
+module Flight = Ei_obs.Flight
 module Clock = Ei_util.Bench_clock
 module Wal = Ei_wal.Wal
 
@@ -61,8 +63,39 @@ let h_batch = Metrics.histogram "serve.batch_ns"
 let h_queue_depth = Metrics.histogram "serve.queue_depth"
 let c_recoveries = Metrics.counter "serve.recoveries"
 
+(* Per-shard op-mix counters for the telemetry timeline: interned lazily
+   per shard index (cold, on fleet start), bumped once per applied op.
+   The scan counter against the read/write split is what lets a
+   timeline frame reconstruct each shard's workload mix. *)
+type shard_mix = {
+  mx_reads : Metrics.counter;
+  mx_writes : Metrics.counter;
+  mx_scans : Metrics.counter;
+}
+
+let shard_mix i =
+  let n k = Printf.sprintf "serve.shard%d.%s" i k in
+  {
+    mx_reads = Metrics.counter (n "reads");
+    mx_writes = Metrics.counter (n "writes");
+    mx_scans = Metrics.counter (n "scans");
+  }
+
+let g_shard_queue i = Metrics.gauge (Printf.sprintf "serve.shard%d.queue_depth" i)
+
 (* One span per drained batch, on the shard domain's own track. *)
 let ev_batch = Trace.define ~span:true ~arg1:"ops" ~cat:"serve" "serve.batch"
+
+(* Causal request flow: [serve.request] covers one client [exec] on the
+   submitting domain and roots the trace; [serve.sub] covers one
+   sub-batch's application on its shard domain as a child span; the
+   [serve.ack] instant marks results scattered back.  Tree descents and
+   WAL commits nested under a sub inherit its ambient {!Ctx}. *)
+let ev_request =
+  Trace.define ~span:true ~arg1:"ops" ~cat:"serve" "serve.request"
+
+let ev_sub = Trace.define ~span:true ~arg1:"ops" ~cat:"serve" "serve.sub"
+let ev_ack = Trace.define ~cat:"serve" ~arg0:"ops" "serve.ack"
 
 let ev_quarantine =
   Trace.define ~cat:"serve" ~arg0:"shard" "serve.quarantine"
@@ -115,6 +148,10 @@ type sub = {
   results : int array [@ei.guarded_by "waiter.wlock"];
   collect : (string -> unit) option;  (* scan_keys sink *)
   waiter : waiter;
+  (* span context frozen at submit: the root trace id and the span to
+     parent the shard-side work under (both 0 when tracing is off) *)
+  tctx : int;
+  tspan : int;
 }
 
 type msg = Work of sub | Set_bound of int
@@ -160,6 +197,8 @@ type shard_state = {
   (* failure parked by a dying domain, tagged with its generation: the
      supervisor acts only on current-generation failures *)
   qlock : Mutex.t;  (* quarantined direct access vs. rebuild *)
+  mix : shard_mix;  (* per-shard op-mix counters (timeline input) *)
+  qdepth : Metrics.gauge;  (* queue depth at last batch drain *)
   faults : shard_faults option;
   wal_faults : Wal.faults option;
   (* the WAL writer the shard domain currently owns (captured at spawn,
@@ -295,6 +334,20 @@ let yp_rebuild = Fault.site "serve.yield.rebuild"
 
 let shard_apply t i ~gen (st : shard_state) part ~wal ~defer sub =
   let n = Array.length sub.sops in
+  (* Re-root the client's span context on this shard domain: everything
+     the apply emits below — grouped descents, elastic conversions, the
+     batch's WAL commit — carries the request's trace id.  The op-mix
+     counters feed the telemetry timeline's per-shard frames. *)
+  let tsub = Trace.start () in
+  if tsub > 0 && sub.tctx <> 0 then
+    Ctx.set_child ~trace:sub.tctx ~parent:sub.tspan;
+  if Metrics.enabled () then
+    Array.iter
+      (function
+        | Find _ -> Metrics.incr st.mix.mx_reads
+        | Scan _ -> Metrics.incr st.mix.mx_scans
+        | Insert _ | Remove _ | Update _ -> Metrics.incr st.mix.mx_writes)
+      sub.sops;
   (* With a WAL, outcomes are group-committed: every result is deferred
      into [defer] and scattered to its slot only after [Wal.commit]
      succeeds at the batch boundary, so no outcome — not even one read
@@ -417,11 +470,17 @@ let shard_apply t i ~gen (st : shard_state) part ~wal ~defer sub =
      (* Dying (crash / poison / stale generation) mid-batch: deferred
         reads were never applied — their slots keep the pending
         sentinel and the client observes [Timed_out], exactly as for
-        the ops after the death point. *)
+        the ops after the death point.  The sub span still closes so
+        the flow view shows where the request died. *)
      run := [];
      run_len := 0;
+     Trace.span ev_sub ~start_ns:tsub n;
      raise e);
-  flush ()
+  match flush () with
+  | () -> Trace.span ev_sub ~start_ns:tsub n
+  | exception e ->
+    Trace.span ev_sub ~start_ns:tsub n;
+    raise e
 
 let shard_loop t i ~gen ?wal q =
   let st = t.shards.(i) in
@@ -451,9 +510,11 @@ let shard_loop t i ~gen ?wal q =
           if Metrics.enabled () || Trace.enabled () then Clock.now_ns ()
           else 0
         in
-        if t0 <> 0 then
-          Metrics.observe h_queue_depth
-            (List.length msgs + Mpsc_queue.length q);
+        if t0 <> 0 then begin
+          let depth = List.length msgs + Mpsc_queue.length q in
+          Metrics.observe h_queue_depth depth;
+          Metrics.set_gauge st.qdepth depth
+        end;
         let finish_batch () =
           (* Publish the size the coordinator rebalances from.  Every
              registry index tracks its size in O(1); the elastic OLC
@@ -464,6 +525,9 @@ let shard_loop t i ~gen ?wal q =
           ignore (Atomic.fetch_and_add t.batches (List.length msgs));
           if t0 <> 0 then begin
             Metrics.observe h_batch (Clock.now_ns () - t0);
+            (* The batch span belongs to no single request: drop the
+               last sub's ambient context before emitting it. *)
+            Ctx.clear ();
             Trace.span ev_batch ~start_ns:t0 (List.length msgs)
           end;
           loop ()
@@ -524,6 +588,9 @@ let shard_loop t i ~gen ?wal q =
                    the waiters with their slots untouched (Timed_out)
                    and let the supervisor replace this part with the
                    recovered-from-disk one. *)
+                Flight.trigger ~reason:"wal-commit-failure"
+                  ~detail:
+                    (Printf.sprintf "shard %d: %s" i (Printexc.to_string e));
                 park st ~gen e;
                 release_acks ();
                 raise e)
@@ -686,6 +753,8 @@ let recover t scfg i ~cause =
   Mutex.lock st.qlock;
   Atomic.set st.status st_quarantined;
   Trace.instant ~a:i ev_quarantine;
+  Flight.trigger ~reason:"shard-quarantine"
+    ~detail:(Printf.sprintf "shard %d: %s" i cause);
   Atomic.incr st.gen;
   (* Whether the old domain can be joined decides how its WAL writer is
      retired below: joined ⇒ the domain is gone, the descriptor can be
@@ -816,6 +885,8 @@ let start ?(queue_capacity = 64) ?(batch = 32) ?coordinator ?supervisor
           heartbeat = Atomic.make 0;
           failed = Atomic.make None;
           qlock = Mutex.create ();
+          mix = shard_mix i;
+          qdepth = g_shard_queue i;
           faults =
             (match fault_prefix with
             | Some p ->
@@ -1087,6 +1158,10 @@ let run_round t ?collect ~deadline ~barrier results triples =
     let waiter =
       { wlock = Mutex.create (); wcond = Condition.create (); pending = !active }
     in
+    (* Freeze the submitting domain's ambient span context into each
+       sub so the shard executor can re-root its work under it. *)
+    let c = Ctx.cell () in
+    let tctx = c.Ctx.c_trace and tspan = c.Ctx.c_span in
     let subs =
       Array.map
         (fun c ->
@@ -1099,6 +1174,8 @@ let run_round t ?collect ~deadline ~barrier results triples =
                 results;
                 collect;
                 waiter;
+                tctx;
+                tspan;
               })
         counts
     in
@@ -1125,6 +1202,11 @@ let exec ?collect ?timeout_s ?(barrier = false) t (ops : op array) =
   let n = Array.length ops in
   let outcomes = Array.make n Timed_out in
   if n > 0 then begin
+    (* Root of the causal flow: one trace per client exec, installed as
+       this domain's ambient context so [run_round] freezes it into
+       every sub-batch. *)
+    let treq = Trace.start () in
+    if treq > 0 then Ctx.set (Ctx.mint ());
     let timeout = match timeout_s with Some _ as s -> s | None -> t.timeout_s in
     let deadline = Option.map (fun s -> now () +. s) timeout in
     let nshards = Array.length t.shards in
@@ -1201,7 +1283,12 @@ let exec ?collect ?timeout_s ?(barrier = false) t (ops : op array) =
             if r = pending_code then Timed_out
             else if r = rejected_code then Rejected
             else Applied r))
-      ops
+      ops;
+    if treq > 0 then begin
+      Trace.instant ~a:n ev_ack;
+      Trace.span ev_request ~start_ns:treq n;
+      Ctx.clear ()
+    end
   end;
   outcomes
 

@@ -14,7 +14,17 @@ let () =
     | Broken msg -> Some ("Invariant.Broken: " ^ msg)
     | _ -> None)
 
-let broken msg = raise (Broken msg)
+(* Observability hook: a flight recorder (ei_obs, which this module
+   cannot depend on) installs a callback here to dump its rings the
+   moment an invariant breaks, before any handler up-stack can mask
+   the failure.  The callback must not raise. *)
+let on_broken : (string -> unit) ref = ref (fun _ -> ())
+let set_on_broken f = on_broken := f
+
+let broken msg =
+  !on_broken msg;
+  raise (Broken msg)
+
 let brokenf fmt = Printf.ksprintf broken fmt
 
-let impossible what = raise (Broken ("unreachable: " ^ what))
+let impossible what = broken ("unreachable: " ^ what)

@@ -18,3 +18,9 @@ val impossible : string -> 'a
 (** Raise {!Broken} for a match case that is unreachable by
     construction; the argument names the site, e.g.
     ["Btree.fix_leaf_child: sibling is an inner node"]. *)
+
+val set_on_broken : (string -> unit) -> unit
+(** Install a callback invoked with the message just before {!broken} /
+    {!brokenf} / {!impossible} raise — how the ei_obs flight recorder
+    hears about breakage from a layer it cannot be a dependency of.
+    The callback must not raise; default is a no-op. *)

@@ -36,6 +36,7 @@
 
 module Fault = Ei_fault.Fault
 module Metrics = Ei_obs.Metrics
+module Trace = Ei_obs.Trace
 module Index_ops = Ei_harness.Index_ops
 module J = Ei_util.Mini_json
 module Fnv = Ei_util.Fnv
@@ -97,6 +98,13 @@ let c_checkpoints = Metrics.counter "wal.checkpoints"
 let c_torn = Metrics.counter "wal.torn_truncations"
 let c_fallbacks = Metrics.counter "wal.ckpt_fallbacks"
 let c_replayed = Metrics.counter "wal.replayed"
+
+(* Span events on the shard domain's track: a [commit] emitted under a
+   request's ambient {!Ei_obs.Ctx} joins that request's flow, making
+   group-commit stalls attributable per request in the Perfetto view. *)
+let ev_commit = Trace.define ~span:true ~arg1:"records" ~cat:"wal" "wal.commit"
+let ev_fsync = Trace.define ~span:true ~cat:"wal" "wal.fsync"
+let ev_replay = Trace.define ~span:true ~arg1:"replayed" ~cat:"wal" "wal.replay"
 
 (* --- Small file helpers ---------------------------------------------- *)
 
@@ -265,10 +273,12 @@ let flush_buf w =
   end
 
 let do_fsync w =
+  let ts = Trace.start () in
   let t0 = Ei_util.Bench_clock.now_ns () in
   Unix.fsync w.fd;
   Metrics.observe h_fsync (Ei_util.Bench_clock.now_ns () - t0);
   Metrics.incr c_fsyncs;
+  Trace.span ev_fsync ~start_ns:ts 0;
   w.synced_len <- w.seg_len;
   w.durable <- w.written_lsn;
   w.unsynced_commits <- 0
@@ -468,25 +478,36 @@ let checkpoint w ~(part : Index_ops.t) =
   prune w
 
 let commit w ~part =
-  check_alive w;
-  (* Both crash sites draw on *every* commit — applicable or not — so
-     the per-site draw sequence is a pure function of the batch
-     schedule and equal-seed replays stay byte-identical. *)
-  let torn_fired, fsync_fired =
-    match w.faults with
-    | Some f -> (Fault.fire f.f_torn, Fault.fire f.f_fsync)
-    | None -> (false, false)
+  let tc = Trace.start () in
+  let recs = w.buffered in
+  let run () =
+    check_alive w;
+    (* Both crash sites draw on *every* commit — applicable or not — so
+       the per-site draw sequence is a pure function of the batch
+       schedule and equal-seed replays stay byte-identical. *)
+    let torn_fired, fsync_fired =
+      match w.faults with
+      | Some f -> (Fault.fire f.f_torn, Fault.fire f.f_fsync)
+      | None -> (false, false)
+    in
+    if torn_fired then crash_torn w;
+    flush_buf w;
+    w.commits <- w.commits + 1;
+    w.unsynced_commits <- w.unsynced_commits + 1;
+    if fsync_fired then crash_unsynced w;
+    if w.cfg.fsync_every > 0 && w.unsynced_commits >= w.cfg.fsync_every then
+      do_fsync w;
+    if w.seg_len >= w.cfg.segment_bytes then rotate w;
+    if w.cfg.checkpoint_every > 0 && w.commits mod w.cfg.checkpoint_every = 0
+    then checkpoint w ~part
   in
-  if torn_fired then crash_torn w;
-  flush_buf w;
-  w.commits <- w.commits + 1;
-  w.unsynced_commits <- w.unsynced_commits + 1;
-  if fsync_fired then crash_unsynced w;
-  if w.cfg.fsync_every > 0 && w.unsynced_commits >= w.cfg.fsync_every then
-    do_fsync w;
-  if w.seg_len >= w.cfg.segment_bytes then rotate w;
-  if w.cfg.checkpoint_every > 0 && w.commits mod w.cfg.checkpoint_every = 0
-  then checkpoint w ~part
+  (* The span closes on the crash paths too — a commit that died torn
+     still shows up, attributed to the request it was acking. *)
+  match run () with
+  | () -> Trace.span ev_commit ~start_ns:tc recs
+  | exception e ->
+    Trace.span ev_commit ~start_ns:tc recs;
+    raise e
 
 let close w =
   if not w.closed then begin
@@ -590,6 +611,7 @@ let apply_record ~(part : Index_ops.t) ~restore r =
 
 let recover ?faults ?(restore = fun ~tid:_ ~key:_ -> ()) cfg ~shard
     ~(part : Index_ops.t) =
+  let tr = Trace.start () in
   let t0 = Ei_util.Bench_clock.now_ns () in
   let sdir = shard_dir cfg shard in
   mkdir_p sdir;
@@ -659,6 +681,7 @@ let recover ?faults ?(restore = fun ~tid:_ ~key:_ -> ()) cfg ~shard
     segs;
   Metrics.add c_replayed !replayed;
   Metrics.observe h_replay (Ei_util.Bench_clock.now_ns () - t0);
+  Trace.span ev_replay ~start_ns:tr !replayed;
   let w =
     {
       cfg;

@@ -137,6 +137,43 @@ let test_no_print () =
   check_clean ~display:"bin/ei_cli.ml" "let f () = print_endline \"x\"\n";
   check_clean ~display:"bench/fig6.ml" "let f n = Printf.printf \"%d\" n\n"
 
+(* --- span-leak ------------------------------------------------------- *)
+
+let obs = "lib/obs/fixture.ml"
+
+let test_span_leak () =
+  (* A start whose timestamp never reaches any call is a leak... *)
+  check_fires ~display:obs ~rule:"span-leak"
+    "let f () = let t = Trace.start () in ()\n";
+  (* ...as is an emit that only covers one branch of a condition that
+     does not inspect the timestamp itself. *)
+  check_fires ~display:obs ~rule:"span-leak"
+    "let f ev cond = let t = Trace.start () in\n\
+    \  if cond then Trace.span ev ~start_ns:t 0\n";
+  check_fires ~display:obs ~rule:"span-leak"
+    "let f ev x = let t = Trace.start () in\n\
+    \  match x with Some y -> Trace.span ev ~start_ns:t y | None -> ()\n";
+  (* The fully-qualified start is caught too. *)
+  check_fires ~display:obs ~rule:"span-leak"
+    "let f () = let t = Ei_obs.Trace.start () in ()\n";
+  (* Straight-line start/emit pairs are fine. *)
+  check_clean ~display:obs
+    "let f ev = let t = Trace.start () in Trace.span ev ~start_ns:t 0\n";
+  (* The tracing-off gate: a branch on the timestamp itself only needs
+     the then-arm to emit (start returns 0 when tracing is off). *)
+  check_clean ~display:obs
+    "let f ev = let t = Trace.start () in\n\
+    \  if t > 0 then Trace.span ev ~start_ns:t 0\n";
+  (* The exception bracket: both the value and exception cases emit. *)
+  check_clean ~display:obs
+    "let f body ev =\n\
+    \  let t = Trace.start () in\n\
+    \  match body () with\n\
+    \  | () -> Trace.span ev ~start_ns:t 0\n\
+    \  | exception e ->\n\
+    \    Trace.span ev ~start_ns:t 0;\n\
+    \    raise e\n"
+
 (* --- syntax ---------------------------------------------------------- *)
 
 let test_syntax () =
@@ -203,6 +240,7 @@ let () =
           Alcotest.test_case "no-abort" `Quick test_no_abort;
           Alcotest.test_case "no-swallow" `Quick test_no_swallow;
           Alcotest.test_case "no-print" `Quick test_no_print;
+          Alcotest.test_case "span-leak" `Quick test_span_leak;
           Alcotest.test_case "syntax" `Quick test_syntax;
         ] );
       ( "scope",

@@ -374,10 +374,114 @@ let rule_no_print =
         | _ -> ());
   }
 
+(* --- span-leak ----------------------------------------------------- *)
+
+(* A [let t = Trace.start () in ...] that can finish without a matching
+   [Trace.span _ ~start_ns:t _] leaves an unclosed span: the slice never
+   reaches the ring and the request's flow silently loses a link.  The
+   reachability check is structural: sequences and lets cover when any
+   element covers; if/match/try require every branch (exception cases
+   included) to cover.  Two idioms are recognised as closing on all
+   paths: gating the emit on the start value itself ([if t > 0 then
+   ... span ...] — the skipped path is the tracing-off path, where
+   [Trace.start] returned 0 and there is no span to close), and the
+   [match body () with () -> span | exception e -> span; raise e]
+   bracket. *)
+
+let is_trace_start e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+    match path_of txt with
+    | [ "Trace"; "start" ] | [ "Ei_obs"; "Trace"; "start" ] -> true
+    | _ -> false)
+  | _ -> false
+
+let is_var v e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident n; _ } -> String.equal n v
+  | _ -> false
+
+let mentions v e =
+  let found = ref false in
+  let super = Ast_iterator.default_iterator in
+  let it =
+    {
+      super with
+      Ast_iterator.expr =
+        (fun it x ->
+          if is_var v x then found := true;
+          super.Ast_iterator.expr it x);
+    }
+  in
+  it.Ast_iterator.expr it e;
+  !found
+
+let rec span_reaches v e =
+  match e.pexp_desc with
+  | Pexp_apply (_, args) ->
+    (* Any application receiving [v] counts as the close — in practice
+       [Trace.span _ ~start_ns:v _], but a helper that takes the start
+       is a close too. *)
+    List.exists (fun (_, a) -> is_var v a || span_reaches v a) args
+  | Pexp_sequence (a, b) -> span_reaches v a || span_reaches v b
+  | Pexp_let (_, vbs, body) ->
+    List.exists (fun vb -> span_reaches v vb.pvb_expr) vbs
+    || span_reaches v body
+  | Pexp_ifthenelse (c, a, b) ->
+    if mentions v c then
+      (* Gated on the start value: the else path is tracing-off. *)
+      span_reaches v a
+    else
+      span_reaches v a
+      && (match b with Some b -> span_reaches v b | None -> false)
+  | Pexp_match (scrut, cases) ->
+    span_reaches v scrut
+    || (match cases with
+       | [] -> false
+       | _ :: _ -> List.for_all (fun c -> span_reaches v c.pc_rhs) cases)
+  | Pexp_try (body, cases) -> (
+    span_reaches v body
+    &&
+    match cases with
+    | [] -> false
+    | _ :: _ -> List.for_all (fun c -> span_reaches v c.pc_rhs) cases)
+  | Pexp_constraint (x, _) | Pexp_open (_, x) | Pexp_letmodule (_, _, x) ->
+    span_reaches v x
+  | _ -> false
+
+let rule_span_leak =
+  {
+    name = "span-leak";
+    short =
+      "every [let t = Trace.start ()] must reach a [Trace.span _ \
+       ~start_ns:t _] on all branches (exception cases included); gate \
+       the emit on [t > 0] or use the match/exception bracket";
+    applies = everywhere;
+    check =
+      (fun ~emit _env e ->
+        match e.pexp_desc with
+        | Pexp_let (_, vbs, cont) ->
+          List.iter
+            (fun vb ->
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt = v; _ } when is_trace_start vb.pvb_expr ->
+                if not (span_reaches v cont) then
+                  emit ~loc:vb.pvb_pat.ppat_loc ~rule:"span-leak"
+                    (Printf.sprintf
+                       "span started as %s may finish without a matching \
+                        Trace.span on every branch (exception paths \
+                        included); close it on all paths or gate the \
+                        branch on %s itself"
+                       v v)
+              | _ -> ())
+            vbs
+        | _ -> ());
+  }
+
 let expr_rules =
   [
     rule_poly_compare; rule_hashtbl; rule_obj_magic; rule_no_abort;
-    rule_no_swallow; rule_no_print;
+    rule_no_swallow; rule_no_print; rule_span_leak;
   ]
 
 (* ------------------------------------------------------------------ *)
