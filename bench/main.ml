@@ -25,6 +25,7 @@ let experiments =
     ("cost", Cost.run);
     ("keysize", Keysize.run);
     ("ablation", Ablation.run);
+    ("net", Bench_net.run);
     ("micro", Micro.run);
   ]
 

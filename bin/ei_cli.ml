@@ -9,6 +9,11 @@
               invariant sanitizer ({!Ei_check.Check}) over it
      serve  — run a sharded elastic fleet ({!Ei_shard.Serve}) with the
               global memory coordinator under a YCSB-style load
+     serve-net — serve a sharded fleet over the wire protocol
+              ({!Ei_net.Server}) on a unix or TCP socket; SIGTERM drains
+              gracefully (every in-flight request keeps its reply)
+     bench-net — closed-/open-loop load generator against a running
+              serve-net; prints p50/p99/p999 and appends a JSON-Lines row
      chaos  — deterministic fault-injection soak against the supervised
               fleet; with --wal-dir the shards are durable and the soak
               proves crash recovery (kill -9, restart, verify)
@@ -37,6 +42,8 @@
      ei volumes --days 90
      ei check --index elastic40 --ops 200000 --strict
      ei serve --shards 4 --records 100000 --ops 200000 --bound 60
+     ei serve-net --shards 8 --socket /tmp/ei-net.sock
+     ei bench-net --clients 4 --count 50000 --mode closed --window 64
      ei stats --index elastic --workload A --json
      ei trace --shards 2 --records 50000 --ops 100000 --out ei.trace.json
      ei timeline --shards 2 --out ei.timeline.jsonl
@@ -457,6 +464,275 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run a sharded elastic fleet with the global memory coordinator.")
+    term
+
+(* --- serve-net / bench-net ---------------------------------------------- *)
+
+(* Shared address selection: a TCP port wins over the unix socket path. *)
+let net_addr ~socket ~port ~host =
+  if port > 0 then Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+  else Unix.ADDR_UNIX socket
+
+let net_addr_string = function
+  | Unix.ADDR_UNIX p -> p
+  | Unix.ADDR_INET (a, p) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+
+let net_socket_arg =
+  Arg.(value & opt string "/tmp/ei-net.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix socket path (ignored when --port is given).")
+
+let net_port_arg =
+  Arg.(value & opt int 0
+       & info [ "port" ] ~doc:"TCP port (0 = use the unix socket).")
+
+let net_host_arg =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~doc:"Host address for --port.")
+
+let serve_net_cmd =
+  let module Olc = Ei_olc.Btree_olc in
+  let module Shard = Ei_shard.Shard in
+  let module Serve = Ei_shard.Serve in
+  let module Server = Ei_net.Server in
+  let module Metrics = Ei_obs.Metrics in
+  let module Trace = Ei_obs.Trace in
+  let module Wal = Ei_wal.Wal in
+  let shards_arg =
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Shard domains to spawn.")
+  in
+  let records_arg =
+    Arg.(value & opt int 0
+         & info [ "records" ]
+             ~doc:"Records to preload before accepting connections.")
+  in
+  let window_arg =
+    Arg.(value & opt int 256
+         & info [ "window" ]
+             ~doc:"Per-connection pipelining window: requests pipelined \
+                   past it are shed with a typed Busy reply instead of \
+                   buffered unboundedly.")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 5.0
+         & info [ "timeout-s" ]
+             ~doc:"Serve.exec deadline per round; expired slots reply \
+                   Timed_out (0 = no deadline).")
+  in
+  let wal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "wal" ] ~docv:"DIR"
+             ~doc:"Write-ahead-log directory: shards run durable and \
+                   recover from DIR on start.")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Enable the trace ring and dump Chrome trace_events \
+                   JSON to FILE on shutdown.")
+  in
+  let run shards records socket port host window timeout_s wal_dir trace_out =
+    if shards < 1 then begin prerr_endline "need at least one shard"; exit 2 end;
+    Metrics.set_enabled true;
+    if trace_out <> None then Trace.set_enabled true;
+    let table = Table.create ~key_len:8 () in
+    let load =
+      Olc.safe_loader ~key_len:8
+        ~table_length:(fun () -> Table.length table)
+        ~load:(Table.loader table)
+    in
+    let mk_part i =
+      Registry.make
+        ~name:(Printf.sprintf "olc/%d" i)
+        ~key_len:8 ~load (Registry.Olc Olc.Olc_std)
+    in
+    let router = Shard.create (Array.init shards mk_part) in
+    let wal = Option.map (fun dir -> Wal.default_config ~dir) wal_dir in
+    let supervisor =
+      Option.map (fun _ -> Serve.default_supervisor ~table ~rebuild:mk_part) wal
+    in
+    let serve =
+      Serve.start ?supervisor ?wal
+        ?wal_restore:
+          (Option.map
+             (fun _ ~tid ~key -> Table.restore_row table ~tid ~key)
+             wal)
+        router
+    in
+    if records > 0 then begin
+      let ops =
+        Array.init records (fun s ->
+            let k = Ycsb.key_of_seq s in
+            Ei_shard.Serve.Insert (k, Table.append table k))
+      in
+      let i = ref 0 in
+      while !i < records do
+        let len = min 512 (records - !i) in
+        ignore (Serve.exec serve (Array.sub ops !i len));
+        i := !i + len
+      done
+    end;
+    let config =
+      {
+        Server.default_config with
+        window;
+        exec_timeout_s =
+          (if Float.compare timeout_s 0.0 <= 0 then None else Some timeout_s);
+      }
+    in
+    let server =
+      Server.start ~config ~serve ~table (net_addr ~socket ~port ~host)
+    in
+    Printf.printf
+      "ei serve-net: %d shard(s)%s, window %d, %d record(s) preloaded, \
+       listening on %s\n%!"
+      shards
+      (if wal = None then "" else " + WAL")
+      window records
+      (net_addr_string (Server.addr server));
+    (* SIGTERM / SIGINT request a graceful drain: the listener closes,
+       every live connection answers its already-decoded requests and
+       flushes, then the fleet joins — no in-flight request loses its
+       reply. *)
+    let stop_req = Atomic.make false in
+    let prev_term = ref Sys.Signal_default
+    and prev_int = ref Sys.Signal_default in
+    let request_stop _ = Atomic.set stop_req true in
+    prev_term := Sys.signal Sys.sigterm (Sys.Signal_handle request_stop);
+    prev_int := Sys.signal Sys.sigint (Sys.Signal_handle request_stop);
+    while not (Atomic.get stop_req) do
+      try Unix.sleepf 0.05
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Server.stop server;
+    Serve.stop serve;
+    Sys.set_signal Sys.sigterm !prev_term;
+    Sys.set_signal Sys.sigint !prev_int;
+    (match trace_out with
+    | Some out ->
+      let n = Trace.events () in
+      Trace.write_json out;
+      Printf.printf "wrote %s: %d events\n" out n
+    | None -> ());
+    let requests, shed, proto = Server.stats () in
+    Printf.printf "drained: %d request(s) served, %d shed, %d protocol error(s)\n"
+      requests shed proto
+  in
+  let term =
+    Term.(const run $ shards_arg $ records_arg $ net_socket_arg $ net_port_arg
+          $ net_host_arg $ window_arg $ timeout_arg $ wal_arg $ trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve-net"
+       ~doc:"Serve a sharded fleet over the wire protocol (unix or TCP \
+             socket); SIGTERM drains gracefully.")
+    term
+
+let bench_net_cmd =
+  let module Client = Ei_net.Client in
+  let module Wire = Ei_net.Wire in
+  let module Key = Ei_util.Key in
+  let clients_arg =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~doc:"Concurrent client connections.")
+  in
+  let count_arg =
+    Arg.(value & opt int 50_000
+         & info [ "count" ] ~doc:"Requests per client.")
+  in
+  let mode_arg =
+    Arg.(value
+         & opt (enum [ ("closed", `Closed); ("open", `Open) ]) `Closed
+         & info [ "mode" ]
+             ~doc:"Load shape: closed keeps --window requests pipelined \
+                   per client; open sends on a fixed --rate schedule so \
+                   queueing delay shows up in the measured latency.")
+  in
+  let window_arg =
+    Arg.(value & opt int 64
+         & info [ "window" ] ~doc:"Closed-loop pipelining window per client.")
+  in
+  let rate_arg =
+    Arg.(value & opt float 50_000.0
+         & info [ "rate" ] ~doc:"Open-loop request rate per client (req/s).")
+  in
+  let results_arg =
+    Arg.(value & opt string "BENCH_results.json"
+         & info [ "results" ] ~docv:"FILE"
+             ~doc:"JSON-Lines results file to append the measurement to.")
+  in
+  let run socket port host clients count mode window rate results =
+    if clients < 1 || count < 1 then begin
+      prerr_endline "need at least one client and one request";
+      exit 2
+    end;
+    let addr = net_addr ~socket ~port ~host in
+    let mode_name = match mode with `Closed -> "closed" | `Open -> "open" in
+    (* Each client inserts a disjoint key range, so applied counts are
+       deterministic (no cross-client duplicate rejections). *)
+    let worker j () =
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let op i = Wire.Insert (Key.of_int ((j * count) + i)) in
+          match mode with
+          | `Closed -> Client.run_closed c ~window ~count ~op
+          | `Open -> Client.run_open c ~rate ~count ~op)
+    in
+    match
+      List.map Domain.join
+        (List.init clients (fun j -> Domain.spawn (worker j)))
+    with
+    | exception Client.Protocol msg ->
+      Printf.eprintf "protocol error: %s\n" msg;
+      exit 1
+    | exception Unix.Unix_error (e, fn, _) ->
+      Printf.eprintf "cannot reach server at %s: %s (%s)\n"
+        (net_addr_string addr) (Unix.error_message e) fn;
+      exit 1
+    | per_client ->
+      let s = Client.merge_stats per_client in
+      let mops =
+        float_of_int s.Client.sent /. Float.max 1e-9 s.Client.elapsed_s /. 1e6
+      in
+      let q p = Client.quantile s.Client.lat_ns p in
+      let us ns = float_of_int ns /. 1e3 in
+      Printf.printf
+        "ei bench-net: %s loop, %d client(s) x %d req against %s\n"
+        mode_name clients count
+        (net_addr_string addr);
+      Printf.printf
+        "  %8d sent  %.2f Mops  (applied %d, rejected %d, timed-out %d, \
+         busy %d)\n"
+        s.Client.sent mops s.Client.applied s.Client.rejected
+        s.Client.timed_out s.Client.busy;
+      Printf.printf "  latency p50 %8.1f us   p99 %8.1f us   p999 %8.1f us\n"
+        (us (q 0.5)) (us (q 0.99)) (us (q 0.999));
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 results in
+      Printf.fprintf oc
+        "{\"name\": \"net-cli\", \"params\": {\"mode\": \"%s\", \"clients\": \
+         \"%d\", \"count\": \"%d\", \"%s\": \"%s\"}, \"ops_per_sec\": %.0f, \
+         \"bytes\": 0, \"scale\": 1, \"seed\": 0, \"p50_ns\": %d, \
+         \"p99_ns\": %d, \"p999_ns\": %d}\n"
+        mode_name clients count
+        (match mode with `Closed -> "window" | `Open -> "rate")
+        (match mode with
+        | `Closed -> string_of_int window
+        | `Open -> Printf.sprintf "%.0f" rate)
+        (mops *. 1e6) (q 0.5) (q 0.99) (q 0.999);
+      close_out oc
+  in
+  let term =
+    Term.(const run $ net_socket_arg $ net_port_arg $ net_host_arg
+          $ clients_arg $ count_arg $ mode_arg $ window_arg $ rate_arg
+          $ results_arg)
+  in
+  Cmd.v
+    (Cmd.info "bench-net"
+       ~doc:"Closed- or open-loop load generator against a running ei \
+             serve-net; exits nonzero on any protocol violation.")
     term
 
 (* --- chaos ------------------------------------------------------------- *)
@@ -1339,8 +1615,8 @@ let sim_cmd =
     Arg.(value & opt string "olc-race"
          & info [ "scenario" ] ~docv:"NAME"
              ~doc:"Scheduler scenario (sched): olc-race, olc-convert-scan, \
-                   olc-multi-find, wal-torn, wal-fsync or lost-update (the \
-                   planted-race self-test).")
+                   olc-multi-find, wal-torn, wal-fsync, net-pipeline or \
+                   lost-update (the planted-race self-test).")
   in
   let rounds_arg =
     Arg.(value & opt int 50
@@ -1575,6 +1851,8 @@ let () =
             volumes_cmd;
             check_cmd;
             serve_cmd;
+            serve_net_cmd;
+            bench_net_cmd;
             chaos_cmd;
             wal_cmd;
             stats_cmd;

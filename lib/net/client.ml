@@ -1,0 +1,296 @@
+(* Protocol client and load-generator engine.
+
+   One {!t} owns one connection: a nonblocking socket, the pure reply
+   reader, and the bookkeeping that matches replies to sent requests
+   by id.  The two drivers are the bench shapes:
+
+   - {!run_closed}: closed loop — keep [window] pipelined requests
+     outstanding, send a new one per reply, [count] total.  Latency is
+     send → reply for each op.
+
+   - {!run_open}: open loop — send at a fixed rate from a schedule,
+     regardless of replies, and measure each reply's latency including
+     its queueing delay.  The honest tail-latency shape: a saturated
+     server shows p999 blowup here long before the closed loop does.
+
+   The client never trusts the server: replies are decoded by the
+   total {!Wire} decoder, a corrupt stream raises {!Protocol}, an
+   unknown or duplicated reply id raises {!Protocol}, and counts per
+   typed status are reported separately so a run with shed or timed
+   out operations cannot masquerade as clean throughput. *)
+
+module Invariant = Ei_util.Invariant
+module Clock = Ei_util.Bench_clock
+
+exception Protocol of string
+
+type t = {
+  fd : Unix.file_descr;
+  reader : Wire.reply Conn.reader;
+}
+[@@ei.single_domain]
+
+let connect addr =
+  (* A server that disappears mid-write must surface as EPIPE on the
+     write, not as a process-killing SIGPIPE. *)
+  if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd =
+    Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0
+  in
+  (try Unix.connect fd addr
+   with e ->
+     Unix.close fd;
+     raise e);
+  (match addr with
+  | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+  | Unix.ADDR_UNIX _ -> ());
+  { fd; reader = Conn.reader ~decode:Wire.decode_reply }
+
+let close t = try Unix.close t.fd with Unix.Unix_error (Unix.EBADF, _, _) -> ()
+
+(* --- Stats ------------------------------------------------------------ *)
+
+type stats = {
+  sent : int;
+  applied : int;
+  rejected : int;
+  timed_out : int;
+  busy : int;
+  elapsed_s : float;
+  lat_ns : int array;  (* one per reply, sorted ascending *)
+}
+[@@ei.single_domain]
+
+let quantile lat q =
+  let n = Array.length lat in
+  if n = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    lat.(min (n - 1) (max 0 rank))
+  end
+
+let compare_ints (a : int) (b : int) = Int.compare a b
+
+let merge_stats ss =
+  let tot f = List.fold_left (fun a s -> a + f s) 0 ss in
+  let lat = Array.concat (List.map (fun s -> s.lat_ns) ss) in
+  Array.sort compare_ints lat;
+  {
+    sent = tot (fun s -> s.sent);
+    applied = tot (fun s -> s.applied);
+    rejected = tot (fun s -> s.rejected);
+    timed_out = tot (fun s -> s.timed_out);
+    busy = tot (fun s -> s.busy);
+    elapsed_s = List.fold_left (fun a s -> Float.max a s.elapsed_s) 0.0 ss;
+    lat_ns = lat;
+  }
+
+(* --- The reply pump --------------------------------------------------- *)
+
+(* Shared driver state for one run: send timestamps indexed by id,
+   reply accounting, and the status counters. *)
+type run = {
+  count : int;
+  sent_ns : int array;
+  mutable sent_n : int;
+  mutable replied_n : int;
+  seen : Bytes.t;  (* reply-id bitmap: double-ack detection *)
+  lats : int array;
+  mutable applied_n : int;
+  mutable rejected_n : int;
+  mutable timed_out_n : int;
+  mutable busy_n : int;
+}
+[@@ei.single_domain]
+
+let mk_run count =
+  {
+    count;
+    sent_ns = Array.make count 0;
+    sent_n = 0;
+    replied_n = 0;
+    seen = Bytes.make count '\000';
+    lats = Array.make count 0;
+    applied_n = 0;
+    rejected_n = 0;
+    timed_out_n = 0;
+    busy_n = 0;
+  }
+
+let absorb run (r : Wire.reply) =
+  let id = r.Wire.rid in
+  if id < 0 || id >= run.sent_n then
+    raise (Protocol (Printf.sprintf "reply for unsent id %d" id));
+  if Bytes.get run.seen id <> '\000' then
+    raise (Protocol (Printf.sprintf "duplicate reply for id %d" id));
+  Bytes.set run.seen id '\001';
+  run.lats.(run.replied_n) <- Clock.now_ns () - run.sent_ns.(id);
+  run.replied_n <- run.replied_n + 1;
+  match r.Wire.status with
+  | Wire.Applied _ -> run.applied_n <- run.applied_n + 1
+  | Wire.Rejected -> run.rejected_n <- run.rejected_n + 1
+  | Wire.Timed_out -> run.timed_out_n <- run.timed_out_n + 1
+  | Wire.Busy -> run.busy_n <- run.busy_n + 1
+
+let read_chunk = 1 lsl 16
+
+(* Pull whatever is readable and absorb the completed replies; returns
+   false on server EOF. *)
+let drain_readable t run buf =
+  match Unix.read t.fd buf 0 (Bytes.length buf) with
+  | 0 -> false
+  | n -> (
+    match Conn.feed t.reader (Bytes.sub_string buf 0 n) with
+    | Ok replies ->
+      List.iter (absorb run) replies;
+      true
+    | Error msg -> raise (Protocol msg))
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> true
+
+let finish_stats run t0 =
+  let lat = Array.sub run.lats 0 run.replied_n in
+  Array.sort compare_ints lat;
+  {
+    sent = run.sent_n;
+    applied = run.applied_n;
+    rejected = run.rejected_n;
+    timed_out = run.timed_out_n;
+    busy = run.busy_n;
+    elapsed_s = Clock.now () -. t0;
+    lat_ns = lat;
+  }
+
+(* Request ids are per-run slot indices: a run always drains fully
+   (every id acknowledged) before the connection is reused, so ids can
+   restart at 0 without ambiguity. *)
+let send_one run op =
+  let id = run.sent_n in
+  if id >= run.count then Invariant.broken "Client: sent past count";
+  run.sent_ns.(id) <- Clock.now_ns ();
+  run.sent_n <- run.sent_n + 1;
+  Wire.encode_request { Wire.id; op }
+
+let write_pending t out =
+  (* Nonblocking flush of the out-buffer; returns the unwritten tail. *)
+  if String.length out = 0 then out
+  else
+    match Unix.write_substring t.fd out 0 (String.length out) with
+    | n -> String.sub out n (String.length out - n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> out
+
+let run_closed t ~window ~count ~op =
+  if window < 1 then invalid_arg "Client.run_closed: window < 1";
+  let run = mk_run count in
+  let buf = Bytes.create read_chunk in
+  let t0 = Clock.now () in
+  Unix.set_nonblock t.fd;
+  let out = ref "" in
+  let eof = ref false in
+  while run.replied_n < count && not !eof do
+    (* Top up the window. *)
+    let outstanding () = run.sent_n - run.replied_n in
+    let b = Buffer.create 256 in
+    while
+      String.length !out = 0
+      && outstanding () < window
+      && run.sent_n < count
+    do
+      Buffer.add_string b (send_one run (op run.sent_n))
+    done;
+    if Buffer.length b > 0 then out := !out ^ Buffer.contents b;
+    out := write_pending t !out;
+    let want_write = String.length !out > 0 in
+    let readable, writable, _ =
+      Unix.select [ t.fd ] (if want_write then [ t.fd ] else []) [] 1.0
+    in
+    if readable <> [] then eof := not (drain_readable t run buf);
+    if writable <> [] then out := write_pending t !out
+  done;
+  Unix.clear_nonblock t.fd;
+  if run.replied_n < count then
+    raise
+      (Protocol
+         (Printf.sprintf "server closed with %d of %d replies outstanding"
+            (count - run.replied_n) count));
+  finish_stats run t0
+
+let run_open t ~rate ~count ~op =
+  if Float.compare rate 1.0 < 0 then invalid_arg "Client.run_open: rate < 1";
+  let run = mk_run count in
+  let buf = Bytes.create read_chunk in
+  let t0 = Clock.now () in
+  Unix.set_nonblock t.fd;
+  let out = ref "" in
+  let eof = ref false in
+  let interval = 1.0 /. rate in
+  while run.replied_n < count && not !eof do
+    (* Send every op whose scheduled instant has passed — an open loop
+       does not wait for replies, so a stalled server accumulates
+       queueing delay that shows up in the measured latency. *)
+    let now = Clock.now () in
+    let due =
+      min count (int_of_float ((now -. t0) /. interval) + 1)
+    in
+    let b = Buffer.create 256 in
+    while run.sent_n < due do
+      Buffer.add_string b (send_one run (op run.sent_n))
+    done;
+    if Buffer.length b > 0 then out := !out ^ Buffer.contents b;
+    out := write_pending t !out;
+    let timeout =
+      if String.length !out > 0 then 0.01
+      else if run.sent_n >= count then 1.0
+      else Float.max 0.0 ((float_of_int run.sent_n *. interval) +. t0 -. now)
+    in
+    let readable, writable, _ =
+      Unix.select [ t.fd ]
+        (if String.length !out > 0 then [ t.fd ] else [])
+        [] (Float.min timeout 1.0)
+    in
+    if readable <> [] then eof := not (drain_readable t run buf);
+    if writable <> [] then out := write_pending t !out
+  done;
+  Unix.clear_nonblock t.fd;
+  if run.replied_n < count then
+    raise
+      (Protocol
+         (Printf.sprintf "server closed with %d of %d replies outstanding"
+            (count - run.replied_n) count));
+  finish_stats run t0
+
+(* --- Blocking convenience call ---------------------------------------- *)
+
+let call t ops =
+  let n = Array.length ops in
+  let statuses = Array.make n Wire.Busy in
+  if n > 0 then begin
+    let run = mk_run n in
+    let buf = Bytes.create read_chunk in
+    let b = Buffer.create 256 in
+    Array.iter (fun op -> Buffer.add_string b (send_one run op)) ops;
+    let out = Buffer.contents b in
+    let i = ref 0 in
+    while !i < String.length out do
+      i := !i + Unix.write_substring t.fd out !i (String.length out - !i)
+    done;
+    let got = ref 0 in
+    while !got < n do
+      match Unix.read t.fd buf 0 (Bytes.length buf) with
+      | 0 ->
+        raise
+          (Protocol
+             (Printf.sprintf "server closed with %d of %d replies outstanding"
+                (n - !got) n))
+      | r -> (
+        match Conn.feed t.reader (Bytes.sub_string buf 0 r) with
+        | Error msg -> raise (Protocol msg)
+        | Ok replies ->
+          List.iter
+            (fun (rp : Wire.reply) ->
+              absorb run rp;
+              statuses.(rp.Wire.rid) <- rp.Wire.status;
+              incr got)
+            replies)
+    done
+  end;
+  statuses

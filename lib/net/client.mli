@@ -1,0 +1,59 @@
+(** Protocol client and load-generator engine.
+
+    One {!t} owns one connection.  {!call} is the blocking pipelined
+    round-trip for tests; {!run_closed} and {!run_open} are the two
+    bench shapes — closed loop (fixed pipelining window, a new request
+    per reply) and open loop (fixed-rate schedule regardless of
+    replies, so queueing delay shows up in the measured latency).
+
+    The client never trusts the server: a corrupt byte stream, an
+    unknown reply id or a duplicated reply raises {!Protocol}, and the
+    per-status counts in {!stats} keep shed or timed-out operations
+    from masquerading as clean throughput. *)
+
+type t
+
+exception Protocol of string
+(** The server violated the protocol: corrupt frame, reply for an
+    unsent id, duplicate reply, or premature close with replies
+    outstanding. *)
+
+val connect : Unix.sockaddr -> t
+(** Connect (TCP sockets set [TCP_NODELAY] — the client pipelines its
+    own batches, Nagle only adds latency).  Sets the process SIGPIPE
+    disposition to ignore, so a vanished server surfaces as [EPIPE]. *)
+
+val close : t -> unit
+
+val call : t -> Wire.op array -> Wire.status array
+(** Send all ops as one pipelined batch, block until every reply
+    arrives, and return the statuses positionally.  Test helper; not
+    for load generation. *)
+
+(** Aggregated result of one load-generator run. *)
+type stats = {
+  sent : int;
+  applied : int;
+  rejected : int;
+  timed_out : int;
+  busy : int;
+  elapsed_s : float;
+  lat_ns : int array;  (** one entry per reply, sorted ascending *)
+}
+
+val quantile : int array -> float -> int
+(** [quantile lat q] with [lat] sorted ascending: the nearest-rank
+    [q]-quantile (0 for an empty array). *)
+
+val merge_stats : stats list -> stats
+(** Pool counters and latency samples across concurrent generators;
+    [elapsed_s] is the max (the generators ran in parallel). *)
+
+val run_closed : t -> window:int -> count:int -> op:(int -> Wire.op) -> stats
+(** Closed loop: keep [window] requests outstanding until [count] have
+    been sent, [op i] producing the [i]th.  Latency is send → reply. *)
+
+val run_open : t -> rate:float -> count:int -> op:(int -> Wire.op) -> stats
+(** Open loop: send [count] requests on a fixed [rate]/s schedule
+    without waiting for replies.  Latency is scheduled-send → reply,
+    so a saturated server's queueing delay is measured, not hidden. *)

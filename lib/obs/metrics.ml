@@ -60,6 +60,10 @@ let counter_value c = sum_cells c.ccells
 type gauge = { gname : string; gcell : int Atomic.t }
 
 let set_gauge g v = if Atomic.get on then Atomic.set g.gcell v
+
+let add_gauge g d =
+  if Atomic.get on then ignore (Atomic.fetch_and_add g.gcell d)
+
 let gauge_value g = Atomic.get g.gcell
 
 (* --- Histograms ------------------------------------------------------- *)

@@ -33,6 +33,11 @@ type gauge
 
 val gauge : string -> gauge
 val set_gauge : gauge -> int -> unit
+
+val add_gauge : gauge -> int -> unit
+(** Atomically add a (possibly negative) delta — for level gauges
+    moved by concurrent writers, e.g. open-connection counts. *)
+
 val gauge_value : gauge -> int
 
 (** {1 Histograms} *)

@@ -1204,9 +1204,15 @@ let exec ?collect ?timeout_s ?(barrier = false) t (ops : op array) =
   if n > 0 then begin
     (* Root of the causal flow: one trace per client exec, installed as
        this domain's ambient context so [run_round] freezes it into
-       every sub-batch. *)
+       every sub-batch.  When a caller already carries a context (the
+       net front end roots one per connection round), join its flow as
+       a child instead of starting a fresh trace — the whole chain
+       net.request → serve.request → serve.sub then renders as one
+       flow. *)
+    let prev = Ctx.current () in
     let treq = Trace.start () in
-    if treq > 0 then Ctx.set (Ctx.mint ());
+    if treq > 0 then
+      Ctx.set (if prev.Ctx.trace = 0 then Ctx.mint () else Ctx.child prev);
     let timeout = match timeout_s with Some _ as s -> s | None -> t.timeout_s in
     let deadline = Option.map (fun s -> now () +. s) timeout in
     let nshards = Array.length t.shards in
@@ -1287,7 +1293,7 @@ let exec ?collect ?timeout_s ?(barrier = false) t (ops : op array) =
     if treq > 0 then begin
       Trace.instant ~a:n ev_ack;
       Trace.span ev_request ~start_ns:treq n;
-      Ctx.clear ()
+      Ctx.set prev
     end
   end;
   outcomes

@@ -60,6 +60,18 @@ type outcome =
       (** not acknowledged before the deadline (or failed by a shard
           crash): the operation may or may not have been applied *)
 
+(** {b Exactly-one-outcome guarantee} (the contract the net front end
+    builds on): {!exec} settles {e every} slot of its batch, whatever
+    happens underneath.  A shard-domain crash or quarantine mid-batch
+    leaves the affected slots at the pending sentinel, which settles
+    as [Timed_out]; injected transient faults settle as [Rejected].
+    No slot is ever skipped, so a network server can map outcomes
+    positionally to typed wire replies ([Applied] / [Rejected] /
+    [Timed_out]) and promise each in-flight request exactly one
+    response instead of a dropped connection — the mapping
+    [Ei_net.Server] implements and [test_net] asserts across
+    crash-during-pipeline runs. *)
+
 exception Crashed of string
 (** An injected shard-domain crash (carries the fault site name);
     escapes into the supervisor, never to clients. *)

@@ -599,13 +599,148 @@ let wal_fsync_scenario () =
   wal_crash_scenario ~label:"wal-fsync" ~fsync_every:3
     ~crash:Wal.crash_unsynced ()
 
+(* The ei_net connection state machines under adversarial interleavings
+   of partial reads and writes — runnable here precisely because they
+   are pure: no socket, no lock, just bytes in and bytes out.
+
+   Three fibers share two in-memory byte pipes.  A client writer pushes
+   the encoded requests toward the server in 1–3 byte chunks and drops
+   the connection mid-frame (the last request's frame is cut short); a
+   server fiber reads short chunks, feeds the {!Ei_net.Session} engine,
+   forms rounds on its own cadence (every third step, so frames pile up
+   past the window and the shed path runs), completes them from a pure
+   model, and flushes the reply bytes in short writes; a client reader
+   consumes the reply stream one byte at a time.
+
+   The check is schedule-independent even though shedding is not:
+   whatever the interleaving, the replies must be exactly one per
+   completely-received request, in request order (the ordered-prefix
+   invariant: batch acks always carry older ids than the same round's
+   [Busy] sheds), each either [Applied] with the model's value or
+   [Busy] — never a lost, duplicated, reordered or corrupted reply,
+   and never a reply for the torn frame. *)
+let net_pipeline_scenario () =
+  let module Wire = Ei_net.Wire in
+  let module Conn = Ei_net.Conn in
+  let module Session = Ei_net.Session in
+  let n = 10 in
+  let window = 3 in
+  let reqs =
+    Array.init n (fun i ->
+        { Wire.id = i; op = Wire.Insert (Printf.sprintf "key-%04d" i) })
+  in
+  let c2s = Buffer.create 512 in
+  let c2s_off = ref 0 in
+  let c2s_eof = ref false in
+  let s2c = Buffer.create 512 in
+  let s2c_off = ref 0 in
+  let s2c_eof = ref false in
+  let session = Session.create ~window () in
+  let reader = Conn.reader ~decode:Wire.decode_reply in
+  let replies = ref [] in
+  let client_writer () =
+    let all =
+      String.concat ""
+        (Array.to_list (Array.map Wire.encode_request reqs))
+    in
+    (* Cut the tail mid-frame: the last request must get no reply. *)
+    let keep = String.length all - 5 in
+    let i = ref 0 in
+    while !i < keep do
+      let len = min (1 + (!i mod 3)) (keep - !i) in
+      Buffer.add_substring c2s all !i len;
+      i := !i + len;
+      Sched.pause ()
+    done;
+    c2s_eof := true
+  in
+  let server () =
+    let step = ref 0 in
+    let finished () =
+      !c2s_eof
+      && !c2s_off = Buffer.length c2s
+      && Session.queued session = 0
+      && Session.out_pending session = 0
+    in
+    while not (finished ()) do
+      let avail = Buffer.length c2s - !c2s_off in
+      if avail > 0 then begin
+        let len = min (1 + (7 * !step mod 37)) avail in
+        let chunk = Buffer.sub c2s !c2s_off len in
+        c2s_off := !c2s_off + len;
+        match Session.feed session chunk with
+        | Ok () -> ()
+        | Error msg ->
+          Invariant.brokenf "net-pipeline: server saw corruption: %s" msg
+      end;
+      (* Rounds only every third step: decoded requests pile up past the
+         window in between, so some schedules exercise the Busy shed. *)
+      if !step mod 3 = 0 || (!c2s_eof && !c2s_off = Buffer.length c2s) then begin
+        let batch = Session.take session in
+        if Array.length batch > 0 then
+          Session.complete session
+            (Array.map
+               (fun (r : Wire.request) -> Wire.Applied r.Wire.id)
+               batch)
+      end;
+      Buffer.add_string s2c
+        (Session.out_take session ~max:(1 + (!step mod 5)));
+      incr step;
+      Sched.pause ()
+    done;
+    s2c_eof := true
+  in
+  let client_reader () =
+    let finished () = !s2c_eof && !s2c_off = Buffer.length s2c in
+    while not (finished ()) do
+      if Buffer.length s2c - !s2c_off > 0 then begin
+        let chunk = Buffer.sub s2c !s2c_off 1 in
+        s2c_off := !s2c_off + 1;
+        match Conn.feed reader chunk with
+        | Ok rs -> List.iter (fun r -> replies := r :: !replies) rs
+        | Error msg ->
+          Invariant.brokenf "net-pipeline: client saw corruption: %s" msg
+      end;
+      Sched.pause ()
+    done
+  in
+  let check () =
+    (match Session.error session with
+    | Some e -> Invariant.brokenf "net-pipeline: session poisoned: %s" e
+    | None -> ());
+    let rs = List.rev !replies in
+    let expect = n - 1 in
+    if List.length rs <> expect then
+      Invariant.brokenf "net-pipeline: %d replies for %d complete requests"
+        (List.length rs) expect;
+    List.iteri
+      (fun i (r : Wire.reply) ->
+        if r.Wire.rid <> i then
+          Invariant.brokenf
+            "net-pipeline: reply %d carries id %d — lost or reordered" i
+            r.Wire.rid;
+        match r.Wire.status with
+        | Wire.Applied v when v = i -> ()
+        | Wire.Busy -> ()
+        | _ ->
+          Invariant.brokenf "net-pipeline: id %d: unexpected %s" i
+            (Wire.describe_reply r))
+      rs
+  in
+  {
+    Sched.fibers =
+      [| ("cw", client_writer); ("srv", server); ("cr", client_reader) |];
+    check;
+  }
+
 let () =
   register_scenario "lost-update" lost_update_scenario;
   register_scenario "olc-race" olc_race_scenario;
   register_scenario "olc-convert-scan" olc_convert_scan_scenario;
   register_scenario "olc-multi-find" olc_multi_find_scenario;
   register_scenario "wal-torn" wal_torn_scenario;
-  register_scenario "wal-fsync" wal_fsync_scenario
+  register_scenario "wal-fsync" wal_fsync_scenario;
+  register_scenario "net-pipeline" net_pipeline_scenario
 
 (* --- Serve exploration ------------------------------------------------ *)
 
@@ -616,7 +751,7 @@ let () =
    oracle (shadow model, zero lost acks, deep validation).  This
    samples schedules rather than enumerating them; byte-exact replay is
    the tape and fiber engines' job. *)
-let perturbed_prefixes = [ "serve."; "olc."; "queue." ]
+let perturbed_prefixes = [ "serve."; "olc."; "queue."; "net." ]
 
 let explore_serve ?(shards = 2) ?(scale = 0.02) ~seed ~rounds () =
   let module Chaos = Ei_chaos.Chaos in

@@ -89,7 +89,12 @@ val scenario_names : unit -> string list
     ["wal-torn"] and ["wal-fsync"] (a group-committing WAL writer
     racing a deterministic crash lever — torn batch tail / dropped page
     cache; recovery from disk must land on an exact prefix of the
-    logged history, no lower than the fsynced horizon at the crash). *)
+    logged history, no lower than the fsynced horizon at the crash),
+    ["net-pipeline"] (the pure [ei_net] connection state machines under
+    1-byte reads, short writes and a mid-frame connection drop: the
+    reply stream must be exactly one in-order reply per complete
+    request — [Applied] or [Busy] — with nothing lost, duplicated or
+    invented for the torn frame). *)
 
 (** {2 Serve exploration (perturbation engine)} *)
 

@@ -80,8 +80,12 @@ let prop_stream_roundtrip =
       let got, err = Frame.decode_all (Buffer.contents b) in
       got = rs && err = None)
 
-(* Exhaustive adversarial sweeps over fixed vectors: deterministic, and
-   CRC-32 guarantees detection of any single-bit error within a frame. *)
+(* Exhaustive adversarial sweeps over fixed vectors, via the property
+   harness shared with the ei_net wire-codec suite (Codec_harness):
+   deterministic, and CRC-32 guarantees detection of any single-bit
+   error within a frame.  The WAL decoder works on a complete file
+   image, so — unlike the incremental wire decoder — its only legal
+   answer to damage is outright rejection. *)
 let fixed_records =
   [
     Frame.Insert { lsn = 1; key = "k0000001"; tid = 7 };
@@ -91,43 +95,36 @@ let fixed_records =
     Frame.Insert { lsn = 0; key = ""; tid = 0 };
   ]
 
-let flip_bit s i =
-  let b = Bytes.of_string s in
-  Bytes.set b (i / 8) (Char.chr (Char.code (Bytes.get b (i / 8)) lxor (1 lsl (i mod 8))));
-  Bytes.to_string b
+let flip_bit = Codec_harness.flip_bit
+
+let frame_verdict s =
+  match Frame.decode s ~pos:0 with
+  | Ok _ -> Codec_harness.Accepted
+  | Error _ -> Codec_harness.Rejected
+
+let rejected = function
+  | Codec_harness.Rejected -> true
+  | Codec_harness.Accepted | Codec_harness.Incomplete -> false
 
 let test_bit_flips () =
-  List.iter
-    (fun r ->
-      let s = Frame.encode r in
-      for i = 0 to (String.length s * 8) - 1 do
-        match Frame.decode (flip_bit s i) ~pos:0 with
-        | Error _ -> ()
-        | Ok _ ->
-          Alcotest.failf "bit flip %d of %s accepted" i (Frame.describe r)
-      done)
+  Codec_harness.check_bit_flips ~what:"wal frame" ~describe:Frame.describe
+    ~encode:Frame.encode ~verdict:frame_verdict ~allowed:rejected
     fixed_records
 
 let test_truncations () =
-  List.iter
-    (fun r ->
-      let s = Frame.encode r in
-      for n = 0 to String.length s - 1 do
-        match Frame.decode (String.sub s 0 n) ~pos:0 with
-        | Error _ -> ()
-        | Ok _ ->
-          Alcotest.failf "truncation to %d of %s accepted" n (Frame.describe r)
-      done)
+  Codec_harness.check_truncations ~what:"wal frame" ~describe:Frame.describe
+    ~encode:Frame.encode ~verdict:frame_verdict ~allowed:rejected
+    fixed_records
+
+let test_length_lies () =
+  Codec_harness.check_length_lies ~what:"wal frame" ~describe:Frame.describe
+    ~encode:Frame.encode ~verdict:frame_verdict ~allowed:rejected
     fixed_records
 
 let prop_random_flip =
-  QCheck.Test.make ~name:"random single-bit flip rejected" ~count:500
-    QCheck.(pair record_arb (make Gen.(int_bound 10_000)))
-    (fun (r, i) ->
-      let s = Frame.encode r in
-      match Frame.decode (flip_bit s (i mod (String.length s * 8))) ~pos:0 with
-      | Error _ -> true
-      | Ok _ -> false)
+  Codec_harness.prop_random_flip ~name:"random single-bit flip rejected"
+    ~arb:record_arb ~encode:Frame.encode ~verdict:frame_verdict
+    ~allowed:rejected
 
 let test_torn_tail_decode () =
   let rs = fixed_records in
@@ -465,6 +462,8 @@ let () =
             test_bit_flips;
           Alcotest.test_case "every truncation rejected" `Quick
             test_truncations;
+          Alcotest.test_case "length-field lies rejected" `Quick
+            test_length_lies;
           Alcotest.test_case "torn tail localised" `Quick test_torn_tail_decode;
         ] );
       ( "recovery",
